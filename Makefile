@@ -1,0 +1,42 @@
+# Standard targets for the reproduction repository.
+
+GO ?= go
+
+.PHONY: all build vet test bench report report-html verify examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# One benchmark per paper table/figure; prints each regenerated series once.
+bench:
+	$(GO) test -bench=. -benchmem
+
+# The full evaluation section as text / standalone HTML.
+report:
+	$(GO) run ./cmd/specreport
+
+report-html:
+	$(GO) run ./cmd/specreport -format html -out report.html
+
+# Check the synthetic corpus against every paper target.
+verify:
+	$(GO) run ./cmd/specgen -verify -q
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/placement
+	$(GO) run ./examples/hwconfig
+	$(GO) run ./examples/fleet
+	$(GO) run ./examples/datacenter
+	$(GO) run ./examples/whatif
+
+clean:
+	rm -f report.html test_output.txt bench_output.txt

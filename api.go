@@ -1,0 +1,391 @@
+package repro
+
+import (
+	"io"
+
+	"repro/internal/analysis"
+	"repro/internal/bench"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/placement"
+	"repro/internal/power"
+	"repro/internal/report"
+	"repro/internal/synth"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Metric kernel (internal/core).
+type (
+	// Curve is a SPECpower-style power/performance curve over graduated
+	// utilization levels.
+	Curve = core.Curve
+	// CurvePoint is one measurement interval of a curve.
+	CurvePoint = core.Point
+	// Interval is a closed utilization range.
+	Interval = core.Interval
+)
+
+// NewCurve validates and builds a curve from measurement points.
+func NewCurve(points []CurvePoint) (*Curve, error) { return core.NewCurve(points) }
+
+// NewStandardCurve builds a curve on the standard SPECpower grid from
+// an idle power reading and ten (power, ops) pairs ordered 10%..100%.
+func NewStandardCurve(idleWatts float64, watts, ops []float64) (*Curve, error) {
+	return core.NewStandardCurve(idleWatts, watts, ops)
+}
+
+// StandardUtilizations are the eleven SPECpower target loads.
+func StandardUtilizations() []float64 {
+	return append([]float64(nil), core.StandardUtilizations...)
+}
+
+// Dataset model (internal/dataset).
+type (
+	// Result is one SPECpower submission.
+	Result = dataset.Result
+	// LoadLevel is one graduated measurement interval of a result.
+	LoadLevel = dataset.LoadLevel
+	// Repository is a queryable result collection.
+	Repository = dataset.Repository
+	// FormFactor is the disclosed chassis type.
+	FormFactor = dataset.FormFactor
+)
+
+// NewRepository wraps results in a repository.
+func NewRepository(results []*Result) *Repository { return dataset.NewRepository(results) }
+
+// Validate checks one result against the SPEC compliance rules.
+func Validate(r *Result) error { return dataset.Validate(r) }
+
+// ReadCSV parses results from the flat CSV schema.
+func ReadCSV(r io.Reader) ([]*Result, error) { return dataset.ReadCSV(r) }
+
+// WriteCSV writes results as CSV with a header row.
+func WriteCSV(w io.Writer, rs []*Result) error { return dataset.WriteCSV(w, rs) }
+
+// ReadJSON parses a JSON array of results.
+func ReadJSON(r io.Reader) ([]*Result, error) { return dataset.ReadJSON(r) }
+
+// WriteJSON writes results as an indented JSON array.
+func WriteJSON(w io.Writer, rs []*Result) error { return dataset.WriteJSON(w, rs) }
+
+// Synthetic corpus (internal/synth).
+type (
+	// SynthConfig seeds corpus generation.
+	SynthConfig = synth.Config
+)
+
+// GenerateCorpus produces the full 517-submission synthetic corpus
+// calibrated to the paper's statistics.
+func GenerateCorpus(cfg SynthConfig) (*Repository, error) { return synth.NewRepository(cfg) }
+
+// GenerateValidResults produces only the 477 compliant results.
+func GenerateValidResults(cfg SynthConfig) ([]*Result, error) { return synth.GenerateValid(cfg) }
+
+// Analyses (internal/analysis).
+type (
+	YearStats         = analysis.YearStats
+	FamilyCount       = analysis.FamilyCount
+	CodenameStats     = analysis.CodenameStats
+	GroupStats        = analysis.GroupStats
+	Envelope          = analysis.Envelope
+	Representative    = analysis.Representative
+	MPCBucket         = analysis.MPCBucket
+	Correlations      = analysis.Correlations
+	IdleRegression    = analysis.IdleRegression
+	AsyncStats        = analysis.AsyncStats
+	TwoChipComparison = analysis.TwoChipComparison
+)
+
+// YearlyTrend computes the per-year EP/EE statistics (Fig. 2-4).
+func YearlyTrend(rp *Repository) ([]YearStats, error) { return analysis.YearlyTrend(rp) }
+
+// ByFamily groups the corpus by microarchitecture family (Fig. 6).
+func ByFamily(rp *Repository) []FamilyCount { return analysis.ByFamily(rp) }
+
+// ByCodename groups the corpus by processor codename (Fig. 7).
+func ByCodename(rp *Repository) []CodenameStats { return analysis.ByCodename(rp) }
+
+// PowerEnvelope computes the pencil-head chart band (Fig. 9).
+func PowerEnvelope(rp *Repository) Envelope { return analysis.PowerEnvelope(rp) }
+
+// EEEnvelope computes the almond chart band (Fig. 11).
+func EEEnvelope(rp *Repository) Envelope { return analysis.EEEnvelope(rp) }
+
+// ByNodes computes the node-count economies-of-scale grouping (Fig. 13).
+func ByNodes(rp *Repository, minCount int) []GroupStats { return analysis.ByNodes(rp, minCount) }
+
+// ByChips computes the single-node chip-count grouping (Fig. 14).
+func ByChips(rp *Repository, minCount int) []GroupStats { return analysis.ByChips(rp, minCount) }
+
+// MemoryPerCore buckets servers by GB/core (Table I / Fig. 17).
+func MemoryPerCore(rp *Repository, minCount int) []MPCBucket {
+	return analysis.MemoryPerCore(rp, minCount)
+}
+
+// ComputeCorrelations quantifies the paper's metric relationships.
+func ComputeCorrelations(rp *Repository) (Correlations, error) {
+	return analysis.ComputeCorrelations(rp)
+}
+
+// FitIdleRegression fits the paper's Eq. 2 over the repository.
+func FitIdleRegression(rp *Repository) (IdleRegression, error) {
+	return analysis.FitIdleRegression(rp)
+}
+
+// Asynchronization computes the §IV.B top-decile statistics.
+func Asynchronization(rp *Repository) AsyncStats { return analysis.Asynchronization(rp) }
+
+// Server power models and benchmark harness (internal/power,
+// internal/bench).
+type (
+	ServerConfig = power.ServerConfig
+	CPUSpec      = power.CPUSpec
+	Governor     = power.Governor
+	BenchConfig  = bench.Config
+	BenchResult  = bench.Result
+	SweepPoint   = bench.SweepPoint
+	MemoryConfig = bench.MemoryConfig
+)
+
+// TableIIServers returns the paper's four modeled rack servers.
+func TableIIServers() []ServerConfig { return power.TableIIServers() }
+
+// Performance returns the governor pinned to the top P-state.
+func Performance() Governor { return power.Performance() }
+
+// OnDemand returns the governor that ramps to the top frequency while
+// busy.
+func OnDemand() Governor { return power.OnDemand() }
+
+// PowerSave returns the governor pinned to the lowest P-state.
+func PowerSave() Governor { return power.PowerSave() }
+
+// UserSpace returns a governor pinned to the given frequency.
+func UserSpace(freqGHz float64) Governor { return power.UserSpace(freqGHz) }
+
+// NewBenchRunner builds a SPECpower-style benchmark runner over a
+// modeled server.
+func NewBenchRunner(cfg BenchConfig) (*bench.Runner, error) { return bench.NewRunner(cfg) }
+
+// Sweep runs the benchmark across memory configurations × governors
+// (the Fig. 18-21 experiments).
+func Sweep(srv ServerConfig, mems []MemoryConfig, govs []Governor, seed int64) ([]SweepPoint, error) {
+	return bench.Sweep(srv, mems, govs, seed)
+}
+
+// Placement engine (internal/placement).
+type (
+	PlacementProfile = placement.Profile
+	PlacementPlan    = placement.Plan
+	PlacementOptions = placement.Options
+	Cluster          = placement.Cluster
+)
+
+// NewPlacementProfile derives a placement profile from a measured
+// curve.
+func NewPlacementProfile(id string, curve *Curve) (*PlacementProfile, error) {
+	return placement.NewProfile(id, curve)
+}
+
+// BuildClusters groups profiles into EP-banded logical clusters with
+// overlapping optimal working regions (§V.C).
+func BuildClusters(profiles []*PlacementProfile, epBandWidth float64) ([]Cluster, error) {
+	return placement.BuildClusters(profiles, epBandWidth)
+}
+
+// PlaceProportional is the §V.C strategy: engage servers at their
+// optimal utilization in descending optimal-efficiency order.
+func PlaceProportional(ps []*PlacementProfile, demandOps float64, opts PlacementOptions) (PlacementPlan, error) {
+	return placement.PlaceProportional(ps, demandOps, opts)
+}
+
+// PackToFull is the conventional baseline: fill each server to 100%
+// before engaging the next.
+func PackToFull(ps []*PlacementProfile, demandOps float64, opts PlacementOptions) (PlacementPlan, error) {
+	return placement.PackToFull(ps, demandOps, opts)
+}
+
+// SpreadEvenly is the load-balancer baseline: every server at equal
+// utilization.
+func SpreadEvenly(ps []*PlacementProfile, demandOps float64, opts PlacementOptions) (PlacementPlan, error) {
+	return placement.SpreadEvenly(ps, demandOps, opts)
+}
+
+// MaxThroughputUnderCap maximizes fleet throughput under a power
+// budget.
+func MaxThroughputUnderCap(ps []*PlacementProfile, capWatts float64, opts PlacementOptions) (PlacementPlan, error) {
+	return placement.MaxThroughputUnderCap(ps, capWatts, opts)
+}
+
+// Reporting (internal/report).
+type ReportOptions = report.Options
+
+// FullReport regenerates the paper's complete evaluation section.
+func FullReport(rp *Repository, opts ReportOptions) (string, error) { return report.Full(rp, opts) }
+
+// Cluster-wide proportionality (internal/cluster).
+type (
+	ClusterPolicy       = cluster.Policy
+	ClusterAggregate    = cluster.Aggregate
+	ClusterComparison   = cluster.Comparison
+	ClusterScalingPoint = cluster.ScalingPoint
+)
+
+// Cluster load-distribution policies.
+const (
+	PolicySpread        = cluster.PolicySpread
+	PolicyPack          = cluster.PolicyPack
+	PolicyPackPowerOff  = cluster.PolicyPackPowerOff
+	PolicyOptimalRegion = cluster.PolicyOptimalRegion
+)
+
+// ComposeCluster builds the aggregate power-utilization curve of a
+// server group under a load-distribution policy.
+func ComposeCluster(members []*PlacementProfile, policy ClusterPolicy) (ClusterAggregate, error) {
+	return cluster.Compose(members, policy)
+}
+
+// CompareClusterPolicies evaluates cluster-wide EP under every policy.
+func CompareClusterPolicies(members []*PlacementProfile) (ClusterComparison, error) {
+	return cluster.Compare(members)
+}
+
+// ClusterScalingStudy replicates one server into clusters of the given
+// sizes and reports cluster EP — the computational counterpart of the
+// paper's Fig. 13.
+func ClusterScalingStudy(prototype *PlacementProfile, sizes []int, policy ClusterPolicy) ([]ClusterScalingPoint, error) {
+	return cluster.ScalingStudy(prototype, sizes, policy)
+}
+
+// Demand traces and energy replay (internal/trace).
+type (
+	Trace         = trace.Trace
+	DiurnalConfig = trace.DiurnalConfig
+	TraceStrategy = trace.Strategy
+	ReplayResult  = trace.ReplayResult
+)
+
+// Replay strategies.
+const (
+	StrategyProportional = trace.StrategyProportional
+	StrategyPackToFull   = trace.StrategyPackToFull
+	StrategySpreadEvenly = trace.StrategySpreadEvenly
+)
+
+// DiurnalTrace synthesizes a day/night demand pattern.
+func DiurnalTrace(cfg DiurnalConfig) (*Trace, error) { return trace.Diurnal(cfg) }
+
+// ReplayTrace accounts a fleet's energy over a trace under one
+// placement strategy.
+func ReplayTrace(tr *Trace, fleet []*PlacementProfile, s TraceStrategy, opts PlacementOptions) (ReplayResult, error) {
+	return trace.Replay(tr, fleet, s, opts)
+}
+
+// CompareTraceStrategies replays the trace under every strategy.
+func CompareTraceStrategies(tr *Trace, fleet []*PlacementProfile, opts PlacementOptions) ([]ReplayResult, error) {
+	return trace.CompareStrategies(tr, fleet, opts)
+}
+
+// Transaction-level workload simulation (internal/workload).
+type (
+	WorkloadConfig  = workload.Config
+	WorkloadMetrics = workload.Metrics
+	TxType          = workload.TxType
+	TxMix           = workload.Mix
+)
+
+// Benchmark fidelity levels.
+const (
+	FidelityFast        = bench.FidelityFast
+	FidelityTransaction = bench.FidelityTransaction
+)
+
+// SimulateWorkload runs one transaction-level measurement interval.
+func SimulateWorkload(cfg WorkloadConfig) (WorkloadMetrics, error) { return workload.Simulate(cfg) }
+
+// DefaultTxMix returns the published ssj_2008 transaction mix.
+func DefaultTxMix() TxMix { return workload.DefaultMix() }
+
+// Extension analyses.
+type (
+	GapRow     = analysis.GapRow
+	GapSummary = analysis.GapSummary
+	EraRate    = analysis.EraRate
+	Breakdown  = power.Breakdown
+	Component  = power.Component
+)
+
+// ProportionalityGapByYear quantifies the low-utilization gap trend
+// (extension E1).
+func ProportionalityGapByYear(rp *Repository) ([]GapRow, error) {
+	return analysis.ProportionalityGapByYear(rp)
+}
+
+// ImprovementRates fits robust per-era EP/EE improvement rates
+// (extension E4).
+func ImprovementRates(rp *Repository, eras [][2]int) ([]EraRate, error) {
+	return analysis.ImprovementRates(rp, eras)
+}
+
+// Disclosure renders one result in the style of a published SPECpower
+// disclosure.
+func Disclosure(r *Result) (string, error) { return report.Disclosure(r) }
+
+// Energy cost and carbon accounting (internal/trace).
+type (
+	Tariff = trace.Tariff
+	Bill   = trace.Bill
+)
+
+// DefaultTariff returns a typical 2016 US datacenter tariff.
+func DefaultTariff() Tariff { return trace.DefaultTariff() }
+
+// EnergyCost converts a replay result into an electricity bill and
+// carbon footprint.
+func EnergyCost(res ReplayResult, t Tariff) (Bill, error) { return trace.Cost(res, t) }
+
+// AnnualizedBill scales a bill measured over traceDays to a 365-day
+// year.
+func AnnualizedBill(b Bill, traceDays float64) (Bill, error) {
+	return trace.AnnualizedBill(b, traceDays)
+}
+
+// FitServer builds a component-level power model approximating a
+// measured single-node result, enabling what-if simulation (different
+// memory or frequencies) on any corpus server.
+func FitServer(r *Result) (ServerConfig, error) { return power.FitServer(r) }
+
+// Projection is the forward extrapolation of the corpus trends.
+type Projection = analysis.Projection
+
+// ProjectTrends extrapolates EP/EE past 2016 from the post-dip era
+// rates and the Eq. 2 fit (extension E6).
+func ProjectTrends(rp *Repository, targetYear int) (Projection, error) {
+	return analysis.ProjectTrends(rp, targetYear)
+}
+
+// CalibrationCheck verifies a corpus against the paper's headline
+// statistics (the contract `specgen -verify` prints).
+type CalibrationCheckRow = synth.Check
+
+// VerifyCalibration measures rp against every paper target.
+func VerifyCalibration(rp *Repository) ([]CalibrationCheckRow, error) {
+	return synth.CalibrationCheck(rp)
+}
+
+// KnightShift composes a primary server with a low-power companion that
+// serves low loads — the related work's server-level heterogeneity
+// (refs [17]/[40]) — and returns the combined power-utilization curve.
+func KnightShift(primary, knight *PlacementProfile, primaryOff bool) (ClusterAggregate, error) {
+	return cluster.KnightShift(primary, knight, primaryOff)
+}
+
+// MaxRateUnderSLA finds the highest sustainable arrival rate whose
+// simulated p99 latency meets the SLA; divide by capacity to obtain a
+// PlacementProfile.UtilizationCap for latency-critical servers.
+func MaxRateUnderSLA(cfg WorkloadConfig, slaP99Seconds float64) (float64, error) {
+	return workload.MaxRateUnderSLA(cfg, slaP99Seconds)
+}

@@ -1,0 +1,83 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/synth"
+)
+
+func TestRunSelectedFigures(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-fig", "5,17", "-stats=false"}, &out, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "Fig.5") || !strings.Contains(s, "Fig.17") {
+		t.Error("selected figures missing")
+	}
+	if strings.Contains(s, "Fig.3") {
+		t.Error("unselected figure printed")
+	}
+}
+
+func TestRunAllFiguresFromFile(t *testing.T) {
+	results, err := synth.Generate(synth.Config{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "corpus.csv")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dataset.WriteCSV(f, results); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-in", path}, &out, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Fig.1", "Fig.16", "Table I", "Table II", "Fig.E4", "Eq.2"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("full output missing %q", want)
+		}
+	}
+}
+
+func TestRunShowDisclosure(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-show", "power_ssj2008-0001"}, &out, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "SPECpower_ssj2008 disclosure — power_ssj2008-0001") {
+		t.Errorf("disclosure missing:\n%s", out.String())
+	}
+	if err := run([]string{"-show", "nope"}, &out, &errBuf); err == nil {
+		t.Error("unknown id accepted")
+	}
+}
+
+func TestRunMissingFile(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-in", "/nonexistent.csv"}, &out, &errBuf); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestRunJSONExport(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-json"}, &out, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), `"yearly_trend"`) || !strings.Contains(out.String(), `"era_rates"`) {
+		t.Error("JSON export incomplete")
+	}
+}

@@ -1,0 +1,107 @@
+// Command specgen generates the calibrated synthetic SPECpower corpus
+// (517 submissions, 477 valid) and writes it as CSV or JSON.
+//
+// Usage:
+//
+//	specgen [-seed N] [-format csv|json] [-valid-only] [-out FILE]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"text/tabwriter"
+
+	"repro/internal/dataset"
+	"repro/internal/report"
+	"repro/internal/synth"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "specgen:", err)
+		os.Exit(1)
+	}
+}
+
+// runVerify prints the calibration table and fails on any regression.
+func runVerify(rp *dataset.Repository, w io.Writer) error {
+	checks, err := synth.CalibrationCheck(rp)
+	if err != nil {
+		return err
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "check\tpaper\tmeasured\tstatus")
+	failed := 0
+	for _, c := range checks {
+		status := "ok"
+		if !c.OK {
+			status = "FAIL"
+			failed++
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\n", c.Name, c.Paper, c.Got, status)
+	}
+	tw.Flush()
+	if failed > 0 {
+		return fmt.Errorf("%d calibration checks failed", failed)
+	}
+	return nil
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("specgen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		seed      = fs.Int64("seed", 1, "generator seed; equal seeds reproduce the corpus bit for bit")
+		format    = fs.String("format", "csv", "output format: csv or json")
+		validOnly = fs.Bool("valid-only", false, "emit only the 477 compliant results")
+		out       = fs.String("out", "", "output file (default stdout)")
+		quiet     = fs.Bool("q", false, "suppress the summary line on stderr")
+		verify    = fs.Bool("verify", false, "print the calibration check against the paper's targets and exit non-zero on failure")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	rp, err := synth.NewRepository(synth.Config{Seed: *seed})
+	if err != nil {
+		return err
+	}
+	if *verify {
+		return runVerify(rp, stdout)
+	}
+	results := rp.All()
+	if *validOnly {
+		results = rp.Valid().All()
+	}
+
+	w := stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			if cerr := f.Close(); cerr != nil && err == nil {
+				err = cerr
+			}
+		}()
+		w = f
+	}
+	switch *format {
+	case "csv":
+		err = dataset.WriteCSV(w, results)
+	case "json":
+		err = dataset.WriteJSON(w, results)
+	default:
+		return fmt.Errorf("unknown format %q (want csv or json)", *format)
+	}
+	if err != nil {
+		return err
+	}
+	if !*quiet {
+		fmt.Fprint(stderr, report.Summary(rp))
+	}
+	return nil
+}

@@ -1,0 +1,152 @@
+// Command specplace plans energy-proportionality-aware workload
+// placement for a fleet drawn from a SPECpower dataset: it compares the
+// EP-aware strategy against pack-to-full and spread-evenly at a given
+// demand, prints the logical clusters (§V.C), and optionally maximizes
+// throughput under a power cap.
+//
+// Usage:
+//
+//	specplace [-in FILE | -seed N] [-from 2012 -to 2016] [-fleet 40]
+//	          [-demand 0.5] [-cap-watts 0] [-power-off]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"text/tabwriter"
+
+	"repro/internal/dataset"
+	"repro/internal/placement"
+	"repro/internal/synth"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "specplace:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("specplace", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		in       = fs.String("in", "", "dataset file (.csv or .json); empty generates the synthetic corpus")
+		seed     = fs.Int64("seed", 1, "seed for the synthetic corpus when -in is empty")
+		from     = fs.Int("from", 2011, "earliest hardware availability year for the fleet")
+		to       = fs.Int("to", 2016, "latest hardware availability year for the fleet")
+		fleetN   = fs.Int("fleet", 40, "fleet size (servers drawn from the dataset)")
+		demand   = fs.Float64("demand", 0.5, "workload demand as a fraction of fleet capacity")
+		capWatts = fs.Float64("cap-watts", 0, "when > 0, also maximize throughput under this power budget")
+		powerOff = fs.Bool("power-off", false, "treat unassigned servers as powered off")
+		bandW    = fs.Float64("ep-band", 0.1, "EP band width for logical clustering")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rp, err := load(*in, *seed)
+	if err != nil {
+		return err
+	}
+	servers := rp.Valid().YearRange(*from, *to).All()
+	if len(servers) == 0 {
+		return fmt.Errorf("no servers in %d-%d", *from, *to)
+	}
+	if len(servers) > *fleetN {
+		servers = servers[:*fleetN]
+	}
+	fleet := make([]*placement.Profile, 0, len(servers))
+	var capacity float64
+	for _, r := range servers {
+		p, err := placement.NewProfile(r.ID, r.MustCurve())
+		if err != nil {
+			return err
+		}
+		fleet = append(fleet, p)
+		capacity += p.MaxOps
+	}
+	opts := placement.Options{IdleServersOff: *powerOff}
+	fmt.Fprintf(stdout, "fleet: %d servers (%d-%d), capacity %.2fM ops\n\n",
+		len(fleet), *from, *to, capacity/1e6)
+
+	clusters, err := placement.BuildClusters(fleet, *bandW)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "logical clusters (EP band %.2f):\n", *bandW)
+	tw := tabwriter.NewWriter(stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "cluster\tservers\tEP range\toptimal region\tcapacity (M ops)")
+	for i, cl := range clusters {
+		fmt.Fprintf(tw, "#%d\t%d\t%.2f-%.2f\t%.0f%%-%.0f%%\t%.2f\n",
+			i+1, len(cl.Servers), cl.EPLow, cl.EPHigh,
+			100*cl.Region.Lo, 100*cl.Region.Hi, cl.Capacity()/1e6)
+	}
+	tw.Flush()
+	fmt.Fprintln(stdout)
+
+	if *demand > 0 {
+		demandOps := *demand * capacity
+		type strat struct {
+			name string
+			fn   func([]*placement.Profile, float64, placement.Options) (placement.Plan, error)
+		}
+		strategies := []strat{
+			{"proportional", placement.PlaceProportional},
+			{"pack-to-full", placement.PackToFull},
+			{"spread-evenly", placement.SpreadEvenly},
+		}
+		fmt.Fprintf(stdout, "placement at %.0f%% demand (%.2fM ops):\n", 100**demand, demandOps/1e6)
+		tw = tabwriter.NewWriter(stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "strategy\tactive\tpower (W)\tfleet EE\tsatisfied")
+		for _, s := range strategies {
+			plan, err := s.fn(fleet, demandOps, opts)
+			if err != nil {
+				return fmt.Errorf("%s: %w", s.name, err)
+			}
+			active := 0
+			for _, a := range plan.Assignments {
+				if a.Utilization > 0 {
+					active++
+				}
+			}
+			fmt.Fprintf(tw, "%s\t%d\t%.0f\t%.1f\t%v\n",
+				s.name, active, plan.TotalPower, plan.EE(), plan.Satisfied)
+		}
+		tw.Flush()
+		fmt.Fprintln(stdout)
+	}
+
+	if *capWatts > 0 {
+		plan, err := placement.MaxThroughputUnderCap(fleet, *capWatts, opts)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "under a %.0f W cap: %.2fM ops at %.1f ops/W (%.0f W drawn)\n",
+			*capWatts, plan.TotalOps/1e6, plan.EE(), plan.TotalPower)
+	}
+	return nil
+}
+
+func load(path string, seed int64) (*dataset.Repository, error) {
+	if path == "" {
+		return synth.NewRepository(synth.Config{Seed: seed})
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var results []*dataset.Result
+	if strings.HasSuffix(path, ".json") {
+		results, err = dataset.ReadJSON(f)
+	} else {
+		results, err = dataset.ReadCSV(f)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return dataset.NewRepository(results), nil
+}

@@ -1,0 +1,37 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunDefaultPlan(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-fleet", "20", "-demand", "0.4"}, &out, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"logical clusters", "proportional", "pack-to-full", "spread-evenly", "satisfied"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRunWithPowerCap(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-fleet", "15", "-demand", "0", "-cap-watts", "3000", "-power-off"}, &out, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "under a 3000 W cap") {
+		t.Errorf("cap plan missing:\n%s", out.String())
+	}
+}
+
+func TestRunEmptyYearRange(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-from", "1999", "-to", "2000"}, &out, &errBuf); err == nil {
+		t.Error("empty range accepted")
+	}
+}

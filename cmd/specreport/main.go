@@ -1,0 +1,109 @@
+// Command specreport regenerates the paper's complete evaluation
+// section — every figure, table, and headline statistic — over the
+// synthetic corpus (or a dataset file), including the simulated
+// hardware experiments of Fig. 18-21.
+//
+// Usage:
+//
+//	specreport [-seed N] [-in FILE] [-no-sweeps] [-sweep-seconds S] [-out FILE]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/dataset"
+	"repro/internal/report"
+	"repro/internal/synth"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "specreport:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("specreport", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		seed     = fs.Int64("seed", 1, "seed for the synthetic corpus and sweeps")
+		in       = fs.String("in", "", "dataset file (.csv or .json); empty generates the synthetic corpus")
+		noSweeps = fs.Bool("no-sweeps", false, "skip the Fig. 18-21 hardware-experiment simulations")
+		sweepSec = fs.Int("sweep-seconds", 30, "simulated measurement interval for sweeps (SPEC default 240)")
+		format   = fs.String("format", "text", "output format: text or html (html embeds SVG figures)")
+		out      = fs.String("out", "", "output file (default stdout)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var (
+		rp  *dataset.Repository
+		err error
+	)
+	if *in == "" {
+		rp, err = synth.NewRepository(synth.Config{Seed: *seed})
+	} else {
+		rp, err = load(*in)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(stderr, report.Summary(rp))
+
+	ropts := report.Options{
+		Sweeps:       !*noSweeps,
+		SweepSeconds: *sweepSec,
+		Seed:         *seed,
+	}
+	var text string
+	switch *format {
+	case "text":
+		text, err = report.Full(rp.Valid(), ropts)
+	case "html":
+		text, err = report.FullHTML(rp.Valid(), ropts)
+	default:
+		return fmt.Errorf("unknown format %q (want text or html)", *format)
+	}
+	if err != nil {
+		return err
+	}
+	w := stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			if cerr := f.Close(); cerr != nil && err == nil {
+				err = cerr
+			}
+		}()
+		w = f
+	}
+	_, err = io.WriteString(w, text)
+	return err
+}
+
+func load(path string) (*dataset.Repository, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var results []*dataset.Result
+	if strings.HasSuffix(path, ".json") {
+		results, err = dataset.ReadJSON(f)
+	} else {
+		results, err = dataset.ReadCSV(f)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return dataset.NewRepository(results), nil
+}

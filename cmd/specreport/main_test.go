@@ -1,0 +1,62 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunNoSweeps(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-no-sweeps"}, &out, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"Fig.1", "Fig.17", "Table II", "Eq.2", "Fig.E5"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+	if strings.Contains(s, "Fig.18") {
+		t.Error("-no-sweeps still ran sweeps")
+	}
+}
+
+func TestRunWithSweepsToFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "report.txt")
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-sweep-seconds", "5", "-out", path}, &out, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Fig.18", "Fig.19", "Fig.20", "Fig.21"} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("report file missing %q", want)
+		}
+	}
+}
+
+func TestRunMissingInput(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-in", "/nope.csv"}, &out, &errBuf); err == nil {
+		t.Error("missing input accepted")
+	}
+}
+
+func TestRunHTMLFormat(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-no-sweeps", "-format", "html"}, &out, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(out.String(), "<!DOCTYPE html>") {
+		t.Error("html format did not produce HTML")
+	}
+	if err := run([]string{"-format", "pdf"}, &out, &errBuf); err == nil {
+		t.Error("unknown format accepted")
+	}
+}

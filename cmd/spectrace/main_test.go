@@ -1,0 +1,46 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunWeekSimulation(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-fleet", "15", "-days", "2"}, &out, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"proportional", "pack-to-full", "spread-evenly", "kg CO2", "annualized", "/yr"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRunPowerOff(t *testing.T) {
+	var on, off, errBuf bytes.Buffer
+	if err := run([]string{"-fleet", "10", "-days", "1", "-seed", "4"}, &on, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-fleet", "10", "-days", "1", "-seed", "4", "-power-off"}, &off, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	if on.String() == off.String() {
+		t.Error("power-off made no difference")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-from", "1999", "-to", "2000"}, &out, &errBuf); err == nil {
+		t.Error("empty year range accepted")
+	}
+	if err := run([]string{"-swing", "2"}, &out, &errBuf); err == nil {
+		t.Error("invalid swing accepted")
+	}
+	if err := run([]string{"-in", "/nope.csv"}, &out, &errBuf); err == nil {
+		t.Error("missing file accepted")
+	}
+}

@@ -1,0 +1,35 @@
+// Package repro is a reproduction of "Energy Proportional Servers:
+// Where Are We in 2016?" (Jiang, Wang, Ou, Luo, Shi — ICDCS 2017) as a
+// production-quality Go library.
+//
+// The paper analyses all 477 valid SPECpower_ssj2008 results published
+// between 2007 and 2016Q3, reorganized by hardware availability year,
+// and runs memory and DVFS experiments on four rack servers. This
+// module provides:
+//
+//   - the metric kernel (energy proportionality Eq. 1, linear
+//     deviation, dynamic range, peak-efficiency analysis) over
+//     SPECpower-style power/performance curves;
+//   - a result model with compliance validation, CSV/JSON codecs, and a
+//     filtering/grouping repository;
+//   - a seeded synthetic corpus generator calibrated to every statistic
+//     the paper reports (the published corpus itself is not
+//     redistributable);
+//   - component-level server power models (CPU DVFS, DRAM, disks, fans,
+//     PSU) with the paper's four Table II machines, and a
+//     SPECpower-style benchmark harness that drives them through
+//     calibration, ten graduated load levels, and active idle;
+//   - every analysis of the evaluation section (trends, envelopes,
+//     economies of scale, peak-efficiency shift, correlations, Eq. 2)
+//     plus report formatters that regenerate each figure and table;
+//   - an energy-proportionality-aware workload placement engine
+//     operationalizing Section V.
+//
+// This root package is a facade re-exporting the stable API; the
+// implementation lives under internal/. Start with Quickstart in the
+// README, or:
+//
+//	corpus, err := repro.GenerateCorpus(repro.SynthConfig{Seed: 1})
+//	valid := corpus.Valid()
+//	trend, err := repro.YearlyTrend(valid)
+package repro

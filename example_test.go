@@ -1,0 +1,75 @@
+package repro_test
+
+import (
+	"fmt"
+
+	"repro"
+)
+
+// ExampleNewStandardCurve computes the paper's metrics for one measured
+// server: Eq. 1 energy proportionality, idle fraction, and the
+// peak-efficiency spot.
+func ExampleNewStandardCurve() {
+	// Ten load levels (10%..100%): average watts and ssj_ops.
+	watts := []float64{60, 80, 100, 118, 134, 150, 166, 184, 210, 250}
+	ops := []float64{1e5, 2e5, 3e5, 4e5, 5e5, 6e5, 7e5, 8e5, 9e5, 1e6}
+	curve, err := repro.NewStandardCurve(45, watts, ops)
+	if err != nil {
+		panic(err)
+	}
+	peak, spots := curve.PeakEE()
+	fmt.Printf("EP = %.3f\n", curve.EP())
+	fmt.Printf("idle = %.0f%% of full-load power\n", 100*curve.IdleFraction())
+	fmt.Printf("peak efficiency %.0f ops/W at %.0f%% load\n", peak, 100*spots[0])
+	// Output:
+	// EP = 0.920
+	// idle = 18% of full-load power
+	// peak efficiency 4348 ops/W at 80% load
+}
+
+// ExampleGenerateCorpus reproduces the paper's headline corpus shape.
+func ExampleGenerateCorpus() {
+	corpus, err := repro.GenerateCorpus(repro.SynthConfig{Seed: 1})
+	if err != nil {
+		panic(err)
+	}
+	valid := corpus.Valid()
+	sorted := valid.SortByEP()
+	fmt.Printf("valid results: %d\n", valid.Len())
+	fmt.Printf("EP extremes: %.2f to %.2f\n", sorted[0].EP(), sorted[len(sorted)-1].EP())
+	// Output:
+	// valid results: 477
+	// EP extremes: 0.18 to 1.05
+}
+
+// ExampleFitIdleRegression recovers the paper's Eq. 2 from the corpus.
+func ExampleFitIdleRegression() {
+	corpus, err := repro.GenerateCorpus(repro.SynthConfig{Seed: 1})
+	if err != nil {
+		panic(err)
+	}
+	reg, err := repro.FitIdleRegression(corpus.Valid())
+	if err != nil {
+		panic(err)
+	}
+	// EP rises exponentially as idle power falls (paper: 1.2969,
+	// ≈ −2.06, R² 0.892).
+	fmt.Printf("EP = %.2f·e^(%.1f·idle), R² = %.2f\n", reg.Fit.A, reg.Fit.B, reg.Fit.R2)
+	// Output:
+	// EP = 1.24·e^(-1.9·idle), R² = 0.89
+}
+
+// ExampleSweep runs the §V.B frequency experiment on the paper's
+// server #2: lower DVFS frequencies always lose efficiency.
+func ExampleSweep() {
+	srv := repro.TableIIServers()[1] // Sugon I620-G10
+	pts, err := repro.Sweep(srv,
+		[]repro.MemoryConfig{{TotalGB: 16, DIMMSizeGB: 4}},
+		[]repro.Governor{repro.PowerSave(), repro.Performance()}, 7)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("1.2 GHz beats 1.8 GHz on efficiency: %v\n", pts[0].OverallEE > pts[1].OverallEE)
+	// Output:
+	// 1.2 GHz beats 1.8 GHz on efficiency: false
+}

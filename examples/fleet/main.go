@@ -1,0 +1,64 @@
+// Fleet: economies of scale in energy proportionality (paper §III.E,
+// Fig. 13-15). Shows that multi-node results grow more proportional
+// with node count, that 2-chip single-node servers lead their
+// generation, and quantifies the paper's headline correlations over the
+// corpus.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	corpus, err := repro.GenerateCorpus(repro.SynthConfig{Seed: 3})
+	if err != nil {
+		return err
+	}
+	valid := corpus.Valid()
+
+	// Fig. 13: EP improves with node count — grouping identical nodes
+	// on one workload is more proportional than running them alone.
+	fmt.Println("economies of scale by node count (Fig. 13):")
+	for _, g := range repro.ByNodes(valid, 3) {
+		fmt.Printf("  %2d nodes: n=%3d  median EP %.3f  mean EP %.3f  mean EE %.0f\n",
+			g.Key, g.N, g.MedianEP, g.MeanEP, g.MeanEE)
+	}
+
+	// Fig. 14: among single-node servers the 2-chip configuration wins;
+	// power density outgrows performance at 4 and 8 sockets.
+	fmt.Println("\nsingle-node servers by chip count (Fig. 14):")
+	for _, g := range repro.ByChips(valid, 3) {
+		fmt.Printf("  %d chips: n=%3d  mean EP %.3f  mean EE %.0f\n",
+			g.Key, g.N, g.MeanEP, g.MeanEE)
+	}
+
+	// §IV.B: proportionality leaders and efficiency leaders are
+	// different machines from different years.
+	async := repro.Asynchronization(valid)
+	fmt.Printf("\ntop-decile asymmetry (n=%d per decile):\n", async.TopN)
+	fmt.Printf("  top-EP servers from 2012: %.1f%% (2012 holds %.1f%% of the corpus)\n",
+		100*async.TopEPFrom2012, 100*async.Share2012)
+	fmt.Printf("  top-EE servers from 2012: %.1f%%; all %d servers from 2015-16 are top-EE\n",
+		100*async.TopEEFrom2012, async.Servers20152016InTopEE)
+	fmt.Printf("  only %.1f%% of the top-EP decile is also top-EE\n", 100*async.Overlap)
+
+	// Headline correlations.
+	corr, err := repro.ComputeCorrelations(valid)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\ncorrelations over %d servers:\n", corr.N)
+	fmt.Printf("  EP vs overall efficiency: %+.3f\n", corr.EPvsOverallEE)
+	fmt.Printf("  EP vs idle power fraction: %+.3f\n", corr.EPvsIdleFraction)
+	fmt.Printf("  EP vs peak-efficiency offset from 100%%: %+.3f\n", corr.EPvsPeakOffset)
+	return nil
+}

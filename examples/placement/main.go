@@ -1,0 +1,92 @@
+// Placement: energy-proportionality-aware workload placement on a
+// heterogeneous fleet (paper §V.C). Builds a 40-server fleet spanning
+// 2010-2016 hardware from the synthetic corpus, clusters it by
+// proportionality band, and compares the EP-aware placement strategy
+// against pack-to-full and spread-evenly baselines across the demand
+// range.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	corpus, err := repro.GenerateCorpus(repro.SynthConfig{Seed: 7})
+	if err != nil {
+		return err
+	}
+	// A realistic mixed fleet: servers of several generations co-exist.
+	servers := corpus.Valid().YearRange(2010, 2016).All()[:40]
+	fleet := make([]*repro.PlacementProfile, 0, len(servers))
+	var capacity float64
+	for _, r := range servers {
+		p, err := repro.NewPlacementProfile(r.ID, r.MustCurve())
+		if err != nil {
+			return err
+		}
+		fleet = append(fleet, p)
+		capacity += p.MaxOps
+	}
+	fmt.Printf("fleet: %d servers, %.1fM ssj_ops capacity\n\n", len(fleet), capacity/1e6)
+
+	// Logical clusters: group by EP band, then by overlapping optimal
+	// working regions (§V.C).
+	clusters, err := repro.BuildClusters(fleet, 0.1)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("logical clusters (EP band 0.1):\n")
+	for i, cl := range clusters {
+		fmt.Printf("  #%d: %2d servers, EP %.2f-%.2f, optimal region %.0f%%-%.0f%%, capacity %.1fM ops\n",
+			i+1, len(cl.Servers), cl.EPLow, cl.EPHigh,
+			100*cl.Region.Lo, 100*cl.Region.Hi, cl.Capacity()/1e6)
+	}
+
+	// Compare strategies across the demand range.
+	fmt.Printf("\ndemand   EP-aware EE   pack-full EE   spread EE   EP-aware saving vs spread\n")
+	for _, frac := range []float64{0.2, 0.35, 0.5, 0.65, 0.8, 0.95} {
+		demand := frac * capacity
+		prop, err := repro.PlaceProportional(fleet, demand, repro.PlacementOptions{})
+		if err != nil {
+			return err
+		}
+		pack, err := repro.PackToFull(fleet, demand, repro.PlacementOptions{})
+		if err != nil {
+			return err
+		}
+		spread, err := repro.SpreadEvenly(fleet, demand, repro.PlacementOptions{})
+		if err != nil {
+			return err
+		}
+		saving := 100 * (1 - prop.TotalPower/spread.TotalPower)
+		fmt.Printf("%5.0f%%   %11.1f   %12.1f   %9.1f   %+.1f%% power\n",
+			100*frac, prop.EE(), pack.EE(), spread.EE(), -saving)
+	}
+
+	// Fixed power budget: how much more work does EP-awareness buy?
+	capWatts := 0.5 * fleetPeakPower(fleet)
+	capped, err := repro.MaxThroughputUnderCap(fleet, capWatts, repro.PlacementOptions{})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nunder a %.0f W cap (50%% of fleet peak): %.1fM ops at %.1f ops/W\n",
+		capWatts, capped.TotalOps/1e6, capped.EE())
+	return nil
+}
+
+func fleetPeakPower(fleet []*repro.PlacementProfile) float64 {
+	var w float64
+	for _, p := range fleet {
+		w += p.PowerAt(1)
+	}
+	return w
+}

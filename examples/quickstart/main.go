@@ -1,0 +1,62 @@
+// Quickstart: generate the calibrated synthetic SPECpower corpus,
+// inspect one server's proportionality metrics, and print the yearly
+// energy-proportionality trend — the paper's Fig. 3 in five minutes.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// The corpus is a pure function of the seed: 517 submissions, of
+	// which 477 pass SPEC's compliance rules.
+	corpus, err := repro.GenerateCorpus(repro.SynthConfig{Seed: 42})
+	if err != nil {
+		return err
+	}
+	valid := corpus.Valid()
+	fmt.Printf("generated %d submissions, %d compliant\n\n", corpus.Len(), valid.Len())
+
+	// Per-server metrics: pick the most proportional server on record.
+	best := valid.SortByEP()[valid.Len()-1]
+	curve := best.MustCurve()
+	fmt.Printf("most proportional server: %s (%d, %s)\n", best.ID, best.HWAvailYear, best.CPUModel)
+	fmt.Printf("  EP = %.3f (ideal = 1.0)\n", curve.EP())
+	fmt.Printf("  idle power: %.1f%% of full-load power\n", 100*curve.IdleFraction())
+	fmt.Printf("  dynamic range: %.1f%%\n", 100*curve.DynamicRange())
+	peak, spots := curve.PeakEE()
+	fmt.Printf("  peak efficiency %.0f ssj_ops/W at %.0f%% load\n", peak, 100*spots[0])
+	fmt.Printf("  overall SPECpower score: %.0f\n\n", curve.OverallEE())
+
+	// The Fig. 3 trend: energy proportionality by hardware availability
+	// year.
+	trend, err := repro.YearlyTrend(valid)
+	if err != nil {
+		return err
+	}
+	fmt.Println("year   n    EP(avg)  EP(median)  EP(min)  EP(max)")
+	for _, ys := range trend {
+		fmt.Printf("%d  %4d   %.3f    %.3f       %.3f    %.3f\n",
+			ys.Year, ys.N, ys.EP.Mean, ys.EP.Median, ys.EP.Min, ys.EP.Max)
+	}
+
+	// The paper's Eq. 2: proportionality rises exponentially as idle
+	// power falls.
+	reg, err := repro.FitIdleRegression(valid)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nEq.2 fit: EP = %.3f · e^(%.2f · idle)   R² = %.3f\n",
+		reg.Fit.A, reg.Fit.B, reg.Fit.R2)
+	fmt.Printf("at 5%% idle power the fit predicts EP = %.2f\n", reg.EPAtFivePercentIdle)
+	return nil
+}

@@ -1,0 +1,375 @@
+// Package analysis implements the paper's analyses as pure functions
+// over a dataset.Repository: yearly EP/EE trends (Fig. 2-4), the EP
+// distribution (Fig. 5), microarchitecture groupings (Fig. 6-8), the
+// pencil-head and almond envelopes (Fig. 9-12), economies of scale
+// (Fig. 13-15), the peak-efficiency shift (Fig. 16), the memory-per-core
+// breakdown (Table I / Fig. 17), the metric correlations and the idle-
+// power regression (Eq. 2), the EP/EE asynchronization (§IV.B), and the
+// published-vs-availability-year reorganization deltas (§I).
+package analysis
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/dataset"
+	"repro/internal/microarch"
+	"repro/internal/stats"
+)
+
+// YearStats aggregates one hardware-availability year.
+type YearStats struct {
+	Year int
+	N    int
+	// EP and EE summarize energy proportionality and the overall
+	// efficiency score; PeakEE summarizes the per-server best level
+	// efficiency (the second family of series in Fig. 4).
+	EP     stats.Summary
+	EE     stats.Summary
+	PeakEE stats.Summary
+}
+
+// YearlyTrend computes the Fig. 2-4 series grouped by hardware
+// availability year, ascending.
+func YearlyTrend(rp *dataset.Repository) ([]YearStats, error) {
+	return yearlyTrendBy(rp, func(r *dataset.Result) int { return r.HWAvailYear })
+}
+
+// YearlyTrendByPublished computes the same series grouped by published
+// year — the baseline the paper's reorganization argument (§I) compares
+// against.
+func YearlyTrendByPublished(rp *dataset.Repository) ([]YearStats, error) {
+	return yearlyTrendBy(rp, func(r *dataset.Result) int { return r.PublishedYear })
+}
+
+func yearlyTrendBy(rp *dataset.Repository, key func(*dataset.Result) int) ([]YearStats, error) {
+	groups := make(map[int][]*dataset.Result)
+	for _, r := range rp.All() {
+		groups[key(r)] = append(groups[key(r)], r)
+	}
+	years := make([]int, 0, len(groups))
+	for y := range groups {
+		years = append(years, y)
+	}
+	sort.Ints(years)
+	out := make([]YearStats, 0, len(years))
+	for _, y := range years {
+		g := dataset.NewRepository(groups[y])
+		eps, ees := g.EPs(), g.OverallEEs()
+		peaks := make([]float64, 0, g.Len())
+		for _, r := range g.All() {
+			p, _ := r.MustCurve().PeakEE()
+			peaks = append(peaks, p)
+		}
+		epSum, err := stats.Describe(eps)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: year %d: %w", y, err)
+		}
+		eeSum, err := stats.Describe(ees)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: year %d: %w", y, err)
+		}
+		peakSum, err := stats.Describe(peaks)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: year %d: %w", y, err)
+		}
+		out = append(out, YearStats{Year: y, N: g.Len(), EP: epSum, EE: eeSum, PeakEE: peakSum})
+	}
+	return out, nil
+}
+
+// EPDistribution returns the empirical CDF of energy proportionality
+// (Fig. 5) and a decile histogram over [0, 1.1].
+func EPDistribution(rp *dataset.Repository) (*stats.ECDF, *stats.Histogram, error) {
+	eps := rp.EPs()
+	cdf, err := stats.NewECDF(eps)
+	if err != nil {
+		return nil, nil, fmt.Errorf("analysis: ep distribution: %w", err)
+	}
+	hist, err := stats.NewHistogram(eps, 0, 1.1, 11)
+	if err != nil {
+		return nil, nil, fmt.Errorf("analysis: ep distribution: %w", err)
+	}
+	return cdf, hist, nil
+}
+
+// FamilyCount is one Fig. 6 bar: servers per microarchitecture family.
+type FamilyCount struct {
+	Family microarch.Family
+	Count  int
+	MeanEP float64
+}
+
+// ByFamily groups servers by microarchitecture family in chronological
+// family order (Fig. 6).
+func ByFamily(rp *dataset.Repository) []FamilyCount {
+	groups := rp.ByFamily()
+	out := make([]FamilyCount, 0, len(groups))
+	for _, fam := range microarch.AllFamilies() {
+		rs, ok := groups[fam]
+		if !ok {
+			continue
+		}
+		g := dataset.NewRepository(rs)
+		out = append(out, FamilyCount{Family: fam, Count: g.Len(), MeanEP: stats.MustMean(g.EPs())})
+	}
+	return out
+}
+
+// CodenameStats is one Fig. 7 entry: servers and EP per processor
+// generation.
+type CodenameStats struct {
+	Codename microarch.Codename
+	Count    int
+	MeanEP   float64
+	MedianEP float64
+}
+
+// ByCodename groups servers by processor codename in chronological
+// order (Fig. 7).
+func ByCodename(rp *dataset.Repository) []CodenameStats {
+	groups := rp.ByCodename()
+	order := append(microarch.AllCodenames(), microarch.UnknownCodename)
+	out := make([]CodenameStats, 0, len(groups))
+	for _, code := range order {
+		rs, ok := groups[code]
+		if !ok {
+			continue
+		}
+		g := dataset.NewRepository(rs)
+		med, _ := stats.Median(g.EPs())
+		out = append(out, CodenameStats{
+			Codename: code,
+			Count:    g.Len(),
+			MeanEP:   stats.MustMean(g.EPs()),
+			MedianEP: med,
+		})
+	}
+	return out
+}
+
+// MarchMixRow is one year of Fig. 8: the family mix of that year's
+// servers.
+type MarchMixRow struct {
+	Year   int
+	Counts map[microarch.Family]int
+	Total  int
+}
+
+// MarchMix reports the per-year microarchitecture mix over [from, to]
+// (Fig. 8 uses 2012-2016 to explain the specious stagnation).
+func MarchMix(rp *dataset.Repository, from, to int) []MarchMixRow {
+	out := make([]MarchMixRow, 0, to-from+1)
+	for y := from; y <= to; y++ {
+		sub := rp.YearRange(y, y)
+		row := MarchMixRow{Year: y, Counts: make(map[microarch.Family]int), Total: sub.Len()}
+		for fam, rs := range sub.ByFamily() {
+			row.Counts[fam] = len(rs)
+		}
+		out = append(out, row)
+	}
+	return out
+}
+
+// GroupStats aggregates servers sharing an integer key (node count or
+// chip count).
+type GroupStats struct {
+	Key      int
+	N        int
+	MeanEP   float64
+	MedianEP float64
+	MeanEE   float64
+	MedianEE float64
+}
+
+// ByNodes aggregates by total node count, ascending (Fig. 13). Groups
+// smaller than minCount are dropped, mirroring the paper's ">2 counts"
+// rule.
+func ByNodes(rp *dataset.Repository, minCount int) []GroupStats {
+	return groupStats(rp.ByNodes(), minCount)
+}
+
+// ByChips aggregates single-node servers by chip count (Fig. 14).
+func ByChips(rp *dataset.Repository, minCount int) []GroupStats {
+	return groupStats(rp.SingleNode().ByChips(), minCount)
+}
+
+func groupStats(groups map[int][]*dataset.Result, minCount int) []GroupStats {
+	keys := make([]int, 0, len(groups))
+	for k := range groups {
+		if len(groups[k]) >= minCount {
+			keys = append(keys, k)
+		}
+	}
+	sort.Ints(keys)
+	out := make([]GroupStats, 0, len(keys))
+	for _, k := range keys {
+		g := dataset.NewRepository(groups[k])
+		eps, ees := g.EPs(), g.OverallEEs()
+		medEP, _ := stats.Median(eps)
+		medEE, _ := stats.Median(ees)
+		out = append(out, GroupStats{
+			Key:      k,
+			N:        g.Len(),
+			MeanEP:   stats.MustMean(eps),
+			MedianEP: medEP,
+			MeanEE:   stats.MustMean(ees),
+			MedianEE: medEE,
+		})
+	}
+	return out
+}
+
+// TwoChipComparison is the Fig. 15 aggregate: how 2-chip single-node
+// servers compare with the whole corpus at the same hardware
+// availability year, averaged over years.
+type TwoChipComparison struct {
+	// Per-year series, ascending by year.
+	Years []TwoChipYear
+	// Aggregate percentage advantages of the 2-chip group, averaged
+	// over the years where both groups exist (paper: +2.94% mean EP,
+	// +4.13% mean EE, +1.18% median EP, +6.26% median EE).
+	MeanEPAdvantagePct   float64
+	MeanEEAdvantagePct   float64
+	MedianEPAdvantagePct float64
+	MedianEEAdvantagePct float64
+}
+
+// TwoChipYear is one year of the Fig. 15 comparison.
+type TwoChipYear struct {
+	Year                         int
+	TwoChipN                     int
+	TwoChipMeanEP, AllMeanEP     float64
+	TwoChipMeanEE, AllMeanEE     float64
+	TwoChipMedianEP, AllMedianEP float64
+	TwoChipMedianEE, AllMedianEE float64
+}
+
+// TwoChipVsAll compares 2-chip single-node servers against all servers
+// per hardware availability year (Fig. 15).
+func TwoChipVsAll(rp *dataset.Repository) TwoChipComparison {
+	two := rp.SingleNode().Filter(func(r *dataset.Result) bool { return r.Chips == 2 })
+	byYearTwo := two.ByHWYear()
+	byYearAll := rp.ByHWYear()
+	years := make([]int, 0, len(byYearTwo))
+	for y := range byYearTwo {
+		years = append(years, y)
+	}
+	sort.Ints(years)
+
+	var cmp TwoChipComparison
+	var sumMeanEP, sumMeanEE, sumMedEP, sumMedEE float64
+	for _, y := range years {
+		gTwo := dataset.NewRepository(byYearTwo[y])
+		gAll := dataset.NewRepository(byYearAll[y])
+		ty := TwoChipYear{Year: y, TwoChipN: gTwo.Len()}
+		ty.TwoChipMeanEP = stats.MustMean(gTwo.EPs())
+		ty.AllMeanEP = stats.MustMean(gAll.EPs())
+		ty.TwoChipMeanEE = stats.MustMean(gTwo.OverallEEs())
+		ty.AllMeanEE = stats.MustMean(gAll.OverallEEs())
+		ty.TwoChipMedianEP, _ = stats.Median(gTwo.EPs())
+		ty.AllMedianEP, _ = stats.Median(gAll.EPs())
+		ty.TwoChipMedianEE, _ = stats.Median(gTwo.OverallEEs())
+		ty.AllMedianEE, _ = stats.Median(gAll.OverallEEs())
+		cmp.Years = append(cmp.Years, ty)
+		sumMeanEP += ty.TwoChipMeanEP/ty.AllMeanEP - 1
+		sumMeanEE += ty.TwoChipMeanEE/ty.AllMeanEE - 1
+		sumMedEP += ty.TwoChipMedianEP/ty.AllMedianEP - 1
+		sumMedEE += ty.TwoChipMedianEE/ty.AllMedianEE - 1
+	}
+	if n := float64(len(cmp.Years)); n > 0 {
+		cmp.MeanEPAdvantagePct = 100 * sumMeanEP / n
+		cmp.MeanEEAdvantagePct = 100 * sumMeanEE / n
+		cmp.MedianEPAdvantagePct = 100 * sumMedEP / n
+		cmp.MedianEEAdvantagePct = 100 * sumMedEE / n
+	}
+	return cmp
+}
+
+// PeakShiftRow is one year of Fig. 16: at which utilization the year's
+// servers reach peak efficiency. A server tying at two levels
+// contributes two spots, which is why the corpus has 478 spots for 477
+// servers.
+type PeakShiftRow struct {
+	Year   int
+	Counts map[float64]int
+	Spots  int
+}
+
+// PeakShift computes the Fig. 16 series by hardware availability year.
+func PeakShift(rp *dataset.Repository) []PeakShiftRow {
+	byYear := rp.ByHWYear()
+	years := rp.HWYears()
+	out := make([]PeakShiftRow, 0, len(years))
+	for _, y := range years {
+		row := PeakShiftRow{Year: y, Counts: make(map[float64]int)}
+		for _, r := range byYear[y] {
+			_, utils := r.MustCurve().PeakEE()
+			for _, u := range utils {
+				row.Counts[roundLevel(u)]++
+				row.Spots++
+			}
+		}
+		out = append(out, row)
+	}
+	return out
+}
+
+// PeakShiftShares aggregates peak-spot shares over a year interval,
+// keyed by utilization level; shares are over servers (not spots),
+// matching the paper's percentages.
+func PeakShiftShares(rp *dataset.Repository, from, to int) map[float64]float64 {
+	sub := rp.YearRange(from, to)
+	counts := make(map[float64]int)
+	for _, r := range sub.All() {
+		_, utils := r.MustCurve().PeakEE()
+		for _, u := range utils {
+			counts[roundLevel(u)]++
+		}
+	}
+	out := make(map[float64]float64, len(counts))
+	for u, c := range counts {
+		out[u] = float64(c) / float64(sub.Len())
+	}
+	return out
+}
+
+func roundLevel(u float64) float64 { return math.Round(u*10) / 10 }
+
+// MPCBucket is one Table I / Fig. 17 row.
+type MPCBucket struct {
+	GBPerCore float64
+	Count     int
+	MeanEP    float64
+	MeanEE    float64
+}
+
+// MemoryPerCore buckets servers by memory-per-core ratio (rounded to
+// two decimals) and keeps buckets with at least minCount servers —
+// Table I uses 10, which keeps 430 of the 477 servers.
+func MemoryPerCore(rp *dataset.Repository, minCount int) []MPCBucket {
+	groups := make(map[float64][]*dataset.Result)
+	for _, r := range rp.All() {
+		k := math.Round(r.MemoryPerCore()*100) / 100
+		groups[k] = append(groups[k], r)
+	}
+	keys := make([]float64, 0, len(groups))
+	for k, rs := range groups {
+		if len(rs) >= minCount {
+			keys = append(keys, k)
+		}
+	}
+	sort.Float64s(keys)
+	out := make([]MPCBucket, 0, len(keys))
+	for _, k := range keys {
+		g := dataset.NewRepository(groups[k])
+		out = append(out, MPCBucket{
+			GBPerCore: k,
+			Count:     g.Len(),
+			MeanEP:    stats.MustMean(g.EPs()),
+			MeanEE:    stats.MustMean(g.OverallEEs()),
+		})
+	}
+	return out
+}

@@ -1,0 +1,227 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/dataset"
+	"repro/internal/stats"
+)
+
+// Correlations quantifies the metric relationships the paper reports
+// (§I, §III.D, §IV) across the repository.
+type Correlations struct {
+	// EPvsOverallEE is the paper's headline 0.741.
+	EPvsOverallEE float64
+	// EPvsIdleFraction is the paper's −0.92.
+	EPvsIdleFraction float64
+	// EPvsDynamicRange mirrors the idle correlation with opposite sign.
+	EPvsDynamicRange float64
+	// EPvsPeakOffset relates proportionality to how far below 100% the
+	// peak-efficiency spot sits (§IV.A: more proportional servers peak
+	// earlier).
+	EPvsPeakOffset float64
+	// EPvsPeakOverFull relates proportionality to the ratio of peak
+	// efficiency over full-load efficiency.
+	EPvsPeakOverFull float64
+	N                int
+}
+
+// ComputeCorrelations evaluates all pairwise correlations.
+func ComputeCorrelations(rp *dataset.Repository) (Correlations, error) {
+	n := rp.Len()
+	eps := make([]float64, 0, n)
+	ees := make([]float64, 0, n)
+	idles := make([]float64, 0, n)
+	drs := make([]float64, 0, n)
+	offsets := make([]float64, 0, n)
+	ratios := make([]float64, 0, n)
+	for _, r := range rp.All() {
+		c, err := r.Curve()
+		if err != nil {
+			return Correlations{}, fmt.Errorf("analysis: correlations: %w", err)
+		}
+		eps = append(eps, c.EP())
+		ees = append(ees, c.OverallEE())
+		idles = append(idles, c.IdleFraction())
+		drs = append(drs, c.DynamicRange())
+		offsets = append(offsets, c.PeakEEOffset())
+		ratios = append(ratios, c.PeakOverFullRatio())
+	}
+	out := Correlations{N: n}
+	var err error
+	if out.EPvsOverallEE, err = stats.Pearson(eps, ees); err != nil {
+		return Correlations{}, err
+	}
+	if out.EPvsIdleFraction, err = stats.Pearson(eps, idles); err != nil {
+		return Correlations{}, err
+	}
+	if out.EPvsDynamicRange, err = stats.Pearson(eps, drs); err != nil {
+		return Correlations{}, err
+	}
+	if out.EPvsPeakOffset, err = stats.Pearson(eps, offsets); err != nil {
+		return Correlations{}, err
+	}
+	if out.EPvsPeakOverFull, err = stats.Pearson(eps, ratios); err != nil {
+		return Correlations{}, err
+	}
+	return out, nil
+}
+
+// IdleRegression fits the paper's Eq. 2, EP = A·e^(B·idle), over the
+// repository and reports the fit together with the correlation.
+type IdleRegression struct {
+	Fit         stats.ExpFit
+	Correlation float64
+	// MaxTheoreticalEP is A — the EP the fit predicts at zero idle
+	// power (the paper reads 1.297 off its fit).
+	MaxTheoreticalEP float64
+	// EPAtFivePercentIdle evaluates the fit at idle = 5% (the paper's
+	// 1.17 illustration).
+	EPAtFivePercentIdle float64
+}
+
+// FitIdleRegression computes Eq. 2 over the repository.
+func FitIdleRegression(rp *dataset.Repository) (IdleRegression, error) {
+	n := rp.Len()
+	eps := make([]float64, 0, n)
+	idles := make([]float64, 0, n)
+	for _, r := range rp.All() {
+		c, err := r.Curve()
+		if err != nil {
+			return IdleRegression{}, fmt.Errorf("analysis: idle regression: %w", err)
+		}
+		eps = append(eps, c.EP())
+		idles = append(idles, c.IdleFraction())
+	}
+	fit, err := stats.ExponentialRegression(idles, eps)
+	if err != nil {
+		return IdleRegression{}, fmt.Errorf("analysis: idle regression: %w", err)
+	}
+	corr, err := stats.Pearson(eps, idles)
+	if err != nil {
+		return IdleRegression{}, err
+	}
+	return IdleRegression{
+		Fit:                 fit,
+		Correlation:         corr,
+		MaxTheoreticalEP:    fit.A,
+		EPAtFivePercentIdle: fit.Predict(0.05),
+	}, nil
+}
+
+// AsyncStats quantifies §IV.B: the top decile by EP and by EE draw from
+// different years and barely overlap.
+type AsyncStats struct {
+	// TopN is the decile size.
+	TopN int
+	// Share2012 is 2012's share of the whole corpus (the paper's 27.4%).
+	Share2012 float64
+	// TopEPFrom2012 is the fraction of the top-EP decile made in 2012
+	// (the paper's 91.7%).
+	TopEPFrom2012 float64
+	// TopEEFrom2012 is the fraction of the top-EE decile made in 2012
+	// (the paper's 16.7%).
+	TopEEFrom2012 float64
+	// Servers20152016InTopEE and Servers20152016 report how many of the
+	// 2015/2016 servers sit in the top-EE decile (the paper: all).
+	Servers20152016InTopEE int
+	Servers20152016        int
+	// Overlap is the fraction of the top-EP decile that is also in the
+	// top-EE decile (the paper's 14.6%).
+	Overlap float64
+}
+
+// Asynchronization computes the §IV.B top-decile statistics.
+func Asynchronization(rp *dataset.Repository) AsyncStats {
+	n := rp.Len()
+	topN := n / 10
+	out := AsyncStats{TopN: topN}
+	if topN == 0 {
+		return out
+	}
+	in2012 := rp.YearRange(2012, 2012).Len()
+	out.Share2012 = float64(in2012) / float64(n)
+
+	byEP := rp.SortByEP()
+	topEP := byEP[len(byEP)-topN:]
+	topEPSet := make(map[string]bool, topN)
+	ep2012 := 0
+	for _, r := range topEP {
+		topEPSet[r.ID] = true
+		if r.HWAvailYear == 2012 {
+			ep2012++
+		}
+	}
+	out.TopEPFrom2012 = float64(ep2012) / float64(topN)
+
+	byEE := rp.All()
+	sort.SliceStable(byEE, func(i, j int) bool { return byEE[i].OverallEE() < byEE[j].OverallEE() })
+	topEE := byEE[len(byEE)-topN:]
+	ee2012, late, overlap := 0, 0, 0
+	for _, r := range topEE {
+		if r.HWAvailYear == 2012 {
+			ee2012++
+		}
+		if r.HWAvailYear >= 2015 {
+			late++
+		}
+		if topEPSet[r.ID] {
+			overlap++
+		}
+	}
+	out.TopEEFrom2012 = float64(ee2012) / float64(topN)
+	out.Servers20152016InTopEE = late
+	out.Servers20152016 = rp.YearRange(2015, 2016).Len()
+	out.Overlap = float64(overlap) / float64(topN)
+	return out
+}
+
+// ReorgDelta is one year's §I comparison: the percentage differences of
+// EP and EE statistics when servers are grouped by hardware
+// availability year versus published year. The paper reports the
+// corpus-wide ranges (avg EP −6.2%..8.7%, median EP −8.6%..13.1%, avg
+// EE −2.2%..16.6%, median EE −5.0%..20.8%).
+type ReorgDelta struct {
+	Year          int
+	AvgEPDeltaPct float64
+	MedEPDeltaPct float64
+	AvgEEDeltaPct float64
+	MedEEDeltaPct float64
+	NHWYear, NPub int
+}
+
+// YearReorgDeltas compares hardware-availability-year statistics
+// against published-year statistics for every year present in both
+// groupings.
+func YearReorgDeltas(rp *dataset.Repository) ([]ReorgDelta, error) {
+	hw, err := YearlyTrend(rp)
+	if err != nil {
+		return nil, err
+	}
+	pub, err := YearlyTrendByPublished(rp)
+	if err != nil {
+		return nil, err
+	}
+	pubByYear := make(map[int]YearStats, len(pub))
+	for _, p := range pub {
+		pubByYear[p.Year] = p
+	}
+	var out []ReorgDelta
+	for _, h := range hw {
+		p, ok := pubByYear[h.Year]
+		if !ok {
+			continue
+		}
+		out = append(out, ReorgDelta{
+			Year:          h.Year,
+			AvgEPDeltaPct: 100 * (h.EP.Mean/p.EP.Mean - 1),
+			MedEPDeltaPct: 100 * (h.EP.Median/p.EP.Median - 1),
+			AvgEEDeltaPct: 100 * (h.EE.Mean/p.EE.Mean - 1),
+			MedEEDeltaPct: 100 * (h.EE.Median/p.EE.Median - 1),
+			NHWYear:       h.N,
+			NPub:          p.N,
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,137 @@
+package analysis
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+)
+
+// Envelope is the band containing every server's normalized curve —
+// the shape of the pencil-head chart (Fig. 9, power) and the almond
+// chart (Fig. 11, efficiency).
+type Envelope struct {
+	// Utilizations is the shared grid (active idle plus ten levels).
+	Utilizations []float64
+	// Lower and Upper bound the normalized values at each grid point.
+	Lower, Upper []float64
+	// LowerID/UpperID identify the servers with the extreme EP values
+	// that trace the envelope edges (EP 1.05 and 0.18 in the corpus).
+	LowerID, UpperID string
+	LowerEP, UpperEP float64
+	N                int
+}
+
+// PowerEnvelope computes the pencil-head chart band: normalized power
+// at each level across all servers. The upper edge belongs to the
+// least proportional server and the lower edge to the most
+// proportional one.
+func PowerEnvelope(rp *dataset.Repository) Envelope {
+	return envelope(rp, func(c *core.Curve) []float64 { return c.NormalizedPower() })
+}
+
+// EEEnvelope computes the almond chart band: efficiency normalized to
+// the 100% level across all servers.
+func EEEnvelope(rp *dataset.Repository) Envelope {
+	return envelope(rp, func(c *core.Curve) []float64 { return c.NormalizedEE() })
+}
+
+func envelope(rp *dataset.Repository, series func(*core.Curve) []float64) Envelope {
+	env := Envelope{
+		Utilizations: append([]float64(nil), core.StandardUtilizations...),
+		N:            rp.Len(),
+	}
+	grid := len(env.Utilizations)
+	env.Lower = make([]float64, grid)
+	env.Upper = make([]float64, grid)
+	for i := range env.Lower {
+		env.Lower[i] = math.Inf(1)
+		env.Upper[i] = math.Inf(-1)
+	}
+	minEP, maxEP := math.Inf(1), math.Inf(-1)
+	for _, r := range rp.All() {
+		c := r.MustCurve()
+		vals := series(c)
+		if len(vals) != grid {
+			continue // non-standard grid; cannot participate in the band
+		}
+		for i, v := range vals {
+			env.Lower[i] = math.Min(env.Lower[i], v)
+			env.Upper[i] = math.Max(env.Upper[i], v)
+		}
+		ep := c.EP()
+		if ep < minEP {
+			minEP, env.UpperID, env.UpperEP = ep, r.ID, ep
+		}
+		if ep > maxEP {
+			maxEP, env.LowerID, env.LowerEP = ep, r.ID, ep
+		}
+	}
+	return env
+}
+
+// Representative pairs a result with its EP for the Fig. 10/12 curve
+// selections.
+type Representative struct {
+	Result *dataset.Result
+	EP     float64
+	Label  string
+}
+
+// paperRepresentatives are the eleven (year, EP) pairs whose curves the
+// paper plots in Fig. 10 and Fig. 12.
+var paperRepresentatives = []struct {
+	year int
+	ep   float64
+}{
+	{2008, 0.18},
+	{2005, 0.30},
+	{2009, 0.61},
+	{2011, 0.75},
+	{2016, 0.75},
+	{2016, 0.82},
+	{2014, 0.86},
+	{2016, 0.87},
+	{2016, 0.96},
+	{2016, 1.02},
+	{2012, 1.05},
+}
+
+// SelectRepresentatives picks, for each of the paper's eleven
+// representative (year, EP) pairs, the server of that year whose EP is
+// closest — exact matches when run on the synthetic corpus, nearest
+// neighbours on any other dataset. Results are ordered by EP.
+func SelectRepresentatives(rp *dataset.Repository) []Representative {
+	used := make(map[string]bool)
+	out := make([]Representative, 0, len(paperRepresentatives))
+	for _, want := range paperRepresentatives {
+		var best *dataset.Result
+		bestGap := math.Inf(1)
+		for _, r := range rp.YearRange(want.year, want.year).All() {
+			if used[r.ID] {
+				continue
+			}
+			if gap := math.Abs(r.EP() - want.ep); gap < bestGap {
+				best, bestGap = r, gap
+			}
+		}
+		if best == nil {
+			continue
+		}
+		used[best.ID] = true
+		out = append(out, Representative{
+			Result: best,
+			EP:     best.EP(),
+			Label:  labelFor(want.year, best.EP()),
+		})
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].EP < out[j].EP })
+	return out
+}
+
+// labelFor renders the paper's legend style, e.g. "2016 EP=1.02".
+func labelFor(year int, ep float64) string {
+	return fmt.Sprintf("%d EP=%.2f", year, ep)
+}

@@ -1,0 +1,100 @@
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/power"
+)
+
+func transactionConfig(srv power.ServerConfig, seed int64) Config {
+	return Config{
+		Server:               srv,
+		Governor:             power.Performance(),
+		Seed:                 seed,
+		IntervalSeconds:      30,
+		CalibrationIntervals: 2,
+		Fidelity:             FidelityTransaction,
+	}
+}
+
+func TestTransactionFidelityProducesCompliantRun(t *testing.T) {
+	srv := power.Server4ThinkServerRD450()
+	rn, err := NewRunner(transactionConfig(srv, 17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := rn.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dr := res.ToDatasetResult("sim-tx", srv)
+	if err := dataset.Validate(dr); err != nil {
+		t.Errorf("transaction-fidelity disclosure non-compliant: %v", err)
+	}
+	// Latency metrics are populated on loaded intervals and grow with
+	// load.
+	low := res.Levels[1] // 20%
+	high := res.Levels[9]
+	if low.LatencyP50 <= 0 || high.LatencyP50 <= 0 {
+		t.Fatalf("latency percentiles missing: %+v / %+v", low, high)
+	}
+	if high.LatencyP50 <= low.LatencyP50 {
+		t.Errorf("latency should grow with load: %v vs %v", high.LatencyP50, low.LatencyP50)
+	}
+	if !(low.LatencyP50 <= low.LatencyP95 && low.LatencyP95 <= low.LatencyP99) {
+		t.Error("percentiles out of order")
+	}
+	// The idle interval has no latency samples.
+	if res.ActiveIdle.LatencyP99 != 0 {
+		t.Error("idle interval reported latency")
+	}
+}
+
+func TestTransactionVsFastAgreeOnEfficiency(t *testing.T) {
+	// Both fidelities model the same server: overall efficiency should
+	// agree within a few percent.
+	srv := power.Server2SugonI620G10()
+	fast, err := NewRunner(fastConfig(srv, power.Performance(), 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr, err := fast.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx, err := NewRunner(transactionConfig(srv, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := tx.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := tr.OverallEE() / fr.OverallEE()
+	if rel < 0.92 || rel > 1.08 {
+		t.Errorf("fidelities disagree on overall EE: %.1f vs %.1f (ratio %.3f)",
+			tr.OverallEE(), fr.OverallEE(), rel)
+	}
+}
+
+func TestTransactionFidelityDeterministic(t *testing.T) {
+	srv := power.Server2SugonI620G10()
+	run := func() *Result {
+		rn, err := NewRunner(transactionConfig(srv, 23))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := rn.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	for i := range a.Levels {
+		if a.Levels[i] != b.Levels[i] {
+			t.Fatalf("level %d differs under equal seeds", i)
+		}
+	}
+}

@@ -1,0 +1,62 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/stats"
+)
+
+// Repeatability summarizes N independent runs of the same
+// configuration under different seeds — the reproducibility check
+// SPEC's run rules demand (consecutive runs must agree within a small
+// tolerance).
+type Repeatability struct {
+	Runs int
+	// OverallEE summarizes the per-run SPECpower scores.
+	OverallEE stats.Summary
+	// CILow/CIHigh bound the mean score at 95% (bootstrap).
+	CILow, CIHigh float64
+	// SpreadFrac is (max − min) / median — the run-to-run variation.
+	SpreadFrac float64
+}
+
+// Repeat executes the configuration n times with derived seeds and
+// summarizes the score distribution.
+func Repeat(cfg Config, n int) (Repeatability, error) {
+	if n < 2 {
+		return Repeatability{}, fmt.Errorf("bench: repeat needs at least 2 runs, got %d", n)
+	}
+	scores := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		runCfg := cfg
+		runCfg.Seed = cfg.Seed + int64(i)*7919
+		runner, err := NewRunner(runCfg)
+		if err != nil {
+			return Repeatability{}, err
+		}
+		res, err := runner.Run()
+		if err != nil {
+			return Repeatability{}, err
+		}
+		scores = append(scores, res.OverallEE())
+	}
+	sum, err := stats.Describe(scores)
+	if err != nil {
+		return Repeatability{}, err
+	}
+	lo, hi, err := stats.BootstrapMeanCI(scores, 1000, 0.95, rand.New(rand.NewSource(cfg.Seed)))
+	if err != nil {
+		return Repeatability{}, err
+	}
+	out := Repeatability{
+		Runs:      n,
+		OverallEE: sum,
+		CILow:     lo,
+		CIHigh:    hi,
+	}
+	if sum.Median > 0 {
+		out.SpreadFrac = (sum.Max - sum.Min) / sum.Median
+	}
+	return out, nil
+}

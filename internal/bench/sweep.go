@@ -1,0 +1,124 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/power"
+)
+
+// SweepPoint is one cell of a memory-per-core × frequency sweep — one
+// full simulated SPECpower run under a fixed configuration.
+type SweepPoint struct {
+	// Server names the machine under test.
+	Server string
+	// MemoryGB and MemoryPerCore describe the installed memory.
+	MemoryGB      int
+	MemoryPerCore float64
+	// Governor is the frequency policy ("2.1GHz", "ondemand", ...).
+	Governor string
+	// BusyFreqGHz is the effective busy frequency of the run.
+	BusyFreqGHz float64
+	// OverallEE is the run's SPECpower score.
+	OverallEE float64
+	// PeakEE and PeakEEAtLoad locate the best per-level efficiency.
+	PeakEE       float64
+	PeakEEAtLoad float64
+	// PeakPowerWatts is the highest interval power (Fig. 21's right
+	// axis).
+	PeakPowerWatts float64
+}
+
+// MemoryConfig is one memory installation to sweep.
+type MemoryConfig struct {
+	TotalGB    int
+	DIMMSizeGB int
+}
+
+// Sweep runs the benchmark for every memory configuration × governor
+// combination, in order. The seed is re-derived per cell so individual
+// cells are reproducible regardless of sweep order.
+func Sweep(srv power.ServerConfig, mems []MemoryConfig, govs []power.Governor, seed int64) ([]SweepPoint, error) {
+	out := make([]SweepPoint, 0, len(mems)*len(govs))
+	for mi, mem := range mems {
+		cfg, err := srv.WithMemory(mem.TotalGB, mem.DIMMSizeGB)
+		if err != nil {
+			return nil, fmt.Errorf("bench: sweep memory %d GB: %w", mem.TotalGB, err)
+		}
+		for gi, gov := range govs {
+			runner, err := NewRunner(Config{
+				Server:   cfg,
+				Governor: gov,
+				Seed:     seed + int64(mi)*1009 + int64(gi)*9176,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("bench: sweep %s %s: %w", cfg.Name, gov.Name(), err)
+			}
+			res, err := runner.Run()
+			if err != nil {
+				return nil, fmt.Errorf("bench: sweep %s %s: %w", cfg.Name, gov.Name(), err)
+			}
+			peakEE, atLoad := res.PeakEE()
+			out = append(out, SweepPoint{
+				Server:         cfg.Name,
+				MemoryGB:       mem.TotalGB,
+				MemoryPerCore:  float64(mem.TotalGB) / float64(cfg.TotalCores()),
+				Governor:       gov.Name(),
+				BusyFreqGHz:    res.BusyFreqGHz,
+				OverallEE:      res.OverallEE(),
+				PeakEE:         peakEE,
+				PeakEEAtLoad:   atLoad,
+				PeakPowerWatts: res.PeakPowerWatts(),
+			})
+		}
+	}
+	return out, nil
+}
+
+// AllFrequencyGovernors returns a userspace governor per P-state of the
+// server (ascending) plus ondemand — the governor set the paper sweeps
+// in Fig. 18-21.
+func AllFrequencyGovernors(srv power.ServerConfig) []power.Governor {
+	freqs := srv.Frequencies()
+	out := make([]power.Governor, 0, len(freqs)+1)
+	for _, f := range freqs {
+		out = append(out, power.UserSpace(f))
+	}
+	out = append(out, power.OnDemand())
+	return out
+}
+
+// PaperMemoryConfigs returns the memory-per-core installations the
+// paper tested on each Table II server (§V.A), keyed by server name.
+// The DIMM size follows each server's disclosed module type.
+func PaperMemoryConfigs(srv power.ServerConfig) []MemoryConfig {
+	switch srv.Name {
+	case "Sugon A620r-G": // 32 cores, 8 GB DDR3 DIMMs: 1.25/1.75/2 GB per core
+		return []MemoryConfig{
+			{TotalGB: 40, DIMMSizeGB: 8},
+			{TotalGB: 56, DIMMSizeGB: 8},
+			{TotalGB: 64, DIMMSizeGB: 8},
+		}
+	case "Sugon I620-G10": // 4 cores, 4 GB DDR3 DIMMs: 2/4/8 GB per core
+		return []MemoryConfig{
+			{TotalGB: 8, DIMMSizeGB: 4},
+			{TotalGB: 16, DIMMSizeGB: 4},
+			{TotalGB: 32, DIMMSizeGB: 4},
+		}
+	case "ThinkServer RD640": // 12 cores, 16 GB DDR4 DIMMs
+		return []MemoryConfig{
+			{TotalGB: 32, DIMMSizeGB: 16},
+			{TotalGB: 96, DIMMSizeGB: 16},
+			{TotalGB: 160, DIMMSizeGB: 16},
+		}
+	case "ThinkServer RD450": // 12 cores, 16 GB DDR4 DIMMs: 1.33/2.67/8/16 GB per core
+		return []MemoryConfig{
+			{TotalGB: 16, DIMMSizeGB: 16},
+			{TotalGB: 32, DIMMSizeGB: 16},
+			{TotalGB: 96, DIMMSizeGB: 16},
+			{TotalGB: 192, DIMMSizeGB: 16},
+		}
+	default:
+		// Fall back to the installed configuration only.
+		return []MemoryConfig{{TotalGB: int(srv.MemoryGB()), DIMMSizeGB: srv.DIMMs[0].SizeGB}}
+	}
+}

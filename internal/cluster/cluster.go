@@ -1,0 +1,311 @@
+// Package cluster computes cluster-wide energy proportionality: it
+// composes the measured power curves of a server group into one
+// aggregate power-utilization curve under a load-distribution policy
+// and evaluates the paper's EP metric on the result.
+//
+// This operationalizes two observations from the paper: §III.E's
+// finding that multiple identical nodes working on one workload are
+// more energy proportional than the same nodes run independently, and
+// §V.C's logical-cluster guidance. Policies differ in how they spread a
+// given cluster utilization across members:
+//
+//   - PolicySpread loads every member equally — the load-balancer
+//     default and the least proportional choice, because every machine
+//     pays its idle power at all times.
+//   - PolicyPack fills one member to 100% before engaging the next,
+//     with idle members still powered — masking idle power behind fully
+//     used machines and lifting cluster EP.
+//   - PolicyPackPowerOff is PolicyPack with idle members powered off —
+//     the upper bound, approaching ideal proportionality for large
+//     clusters.
+//   - PolicyOptimalRegion holds engaged members at their peak-
+//     efficiency utilization before topping up — §V.C's strategy.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/placement"
+)
+
+// Policy selects how cluster load is spread across members.
+type Policy int
+
+// Policies.
+const (
+	PolicySpread Policy = iota + 1
+	PolicyPack
+	PolicyPackPowerOff
+	PolicyOptimalRegion
+)
+
+// String returns the policy name.
+func (p Policy) String() string {
+	switch p {
+	case PolicySpread:
+		return "spread"
+	case PolicyPack:
+		return "pack"
+	case PolicyPackPowerOff:
+		return "pack+off"
+	case PolicyOptimalRegion:
+		return "optimal-region"
+	default:
+		return "unknown"
+	}
+}
+
+// AllPolicies lists the policies in increasing expected proportionality
+// order.
+func AllPolicies() []Policy {
+	return []Policy{PolicySpread, PolicyPack, PolicyPackPowerOff, PolicyOptimalRegion}
+}
+
+// Aggregate is a cluster-level power-utilization curve.
+type Aggregate struct {
+	// Utilizations and PowerWatts trace the cluster curve; utilization
+	// is cluster throughput over cluster capacity.
+	Utilizations []float64
+	PowerWatts   []float64
+	// CapacityOps is the cluster's total throughput at full load.
+	CapacityOps float64
+	// Policy produced this curve.
+	Policy Policy
+}
+
+// EP computes the paper's Eq. 1 metric on the aggregate curve.
+func (a Aggregate) EP() float64 {
+	peak := a.PowerWatts[len(a.PowerWatts)-1]
+	if peak <= 0 {
+		return 0
+	}
+	var area float64
+	for i := 1; i < len(a.Utilizations); i++ {
+		du := a.Utilizations[i] - a.Utilizations[i-1]
+		area += du * (a.PowerWatts[i] + a.PowerWatts[i-1]) / 2 / peak
+	}
+	return 2 - 2*area
+}
+
+// IdleFraction returns cluster idle power over cluster peak power.
+func (a Aggregate) IdleFraction() float64 {
+	peak := a.PowerWatts[len(a.PowerWatts)-1]
+	if peak <= 0 {
+		return 0
+	}
+	return a.PowerWatts[0] / peak
+}
+
+// Curve converts the aggregate into a core.Curve with synthetic
+// throughput proportional to utilization, so every core metric applies
+// to clusters too. Power-off policies can reach zero idle power, which
+// core.Curve forbids; a 1 mW floor keeps the curve valid without
+// affecting any metric.
+func (a Aggregate) Curve() (*core.Curve, error) {
+	pts := make([]core.Point, len(a.Utilizations))
+	for i, u := range a.Utilizations {
+		w := a.PowerWatts[i]
+		if w <= 0 {
+			w = 1e-3
+		}
+		pts[i] = core.Point{
+			Utilization: u,
+			OpsPerSec:   a.CapacityOps * u,
+			PowerWatts:  w,
+		}
+	}
+	return core.NewCurve(pts)
+}
+
+// gridSteps is the resolution of the aggregate curve (plus the idle
+// point): fine enough that pack-policy kinks at member boundaries
+// survive the quadrature.
+const gridSteps = 100
+
+// Compose builds the aggregate curve of the member servers under the
+// policy.
+func Compose(members []*placement.Profile, policy Policy) (Aggregate, error) {
+	if len(members) == 0 {
+		return Aggregate{}, errors.New("cluster: no members")
+	}
+	var capacity float64
+	for _, m := range members {
+		capacity += m.MaxOps
+	}
+	if capacity <= 0 {
+		return Aggregate{}, errors.New("cluster: zero capacity")
+	}
+	agg := Aggregate{
+		Utilizations: make([]float64, 0, gridSteps+1),
+		PowerWatts:   make([]float64, 0, gridSteps+1),
+		CapacityOps:  capacity,
+		Policy:       policy,
+	}
+	for step := 0; step <= gridSteps; step++ {
+		u := float64(step) / gridSteps
+		watts, err := powerAt(members, capacity*u, policy)
+		if err != nil {
+			return Aggregate{}, fmt.Errorf("cluster: at utilization %.2f: %w", u, err)
+		}
+		agg.Utilizations = append(agg.Utilizations, u)
+		agg.PowerWatts = append(agg.PowerWatts, watts)
+	}
+	return agg, nil
+}
+
+// powerAt computes the cluster's power when serving demandOps under
+// the policy.
+func powerAt(members []*placement.Profile, demandOps float64, policy Policy) (float64, error) {
+	switch policy {
+	case PolicySpread:
+		var watts float64
+		var capacity float64
+		for _, m := range members {
+			capacity += m.MaxOps
+		}
+		u := math.Min(1, demandOps/capacity)
+		for _, m := range members {
+			watts += m.PowerAt(u)
+		}
+		return watts, nil
+	case PolicyPack, PolicyPackPowerOff:
+		var watts float64
+		remaining := demandOps
+		for _, m := range members {
+			take := math.Min(m.MaxOps, remaining)
+			remaining -= take
+			u := take / m.MaxOps
+			if u == 0 && policy == PolicyPackPowerOff {
+				continue
+			}
+			watts += m.PowerAt(u)
+		}
+		return watts, nil
+	case PolicyOptimalRegion:
+		if demandOps <= 0 {
+			// All members idle.
+			var watts float64
+			for _, m := range members {
+				watts += m.PowerAt(0)
+			}
+			return watts, nil
+		}
+		plan, err := placement.PlaceProportional(members, demandOps, placement.Options{})
+		if err != nil {
+			return 0, err
+		}
+		return plan.TotalPower, nil
+	default:
+		return 0, fmt.Errorf("cluster: unknown policy %d", policy)
+	}
+}
+
+// Comparison evaluates every policy over the same members.
+type Comparison struct {
+	Members int
+	Rows    []ComparisonRow
+}
+
+// ComparisonRow is one policy's cluster-level metrics.
+type ComparisonRow struct {
+	Policy       Policy
+	EP           float64
+	IdleFraction float64
+	// HalfLoadWatts is the cluster draw at 50% utilization — where
+	// real fleets spend their time and policies differ the most.
+	HalfLoadWatts float64
+}
+
+// Compare composes the members under every policy.
+func Compare(members []*placement.Profile) (Comparison, error) {
+	cmp := Comparison{Members: len(members)}
+	for _, policy := range AllPolicies() {
+		agg, err := Compose(members, policy)
+		if err != nil {
+			return Comparison{}, err
+		}
+		half := agg.PowerWatts[len(agg.PowerWatts)/2]
+		cmp.Rows = append(cmp.Rows, ComparisonRow{
+			Policy:        policy,
+			EP:            agg.EP(),
+			IdleFraction:  agg.IdleFraction(),
+			HalfLoadWatts: half,
+		})
+	}
+	return cmp, nil
+}
+
+// ScalingPoint is one cluster size in a scaling study.
+type ScalingPoint struct {
+	Nodes int
+	EP    float64
+}
+
+// ScalingStudy replicates one server profile into clusters of the given
+// sizes and reports cluster EP under the policy — the computational
+// counterpart of the paper's Fig. 13 economies-of-scale observation.
+func ScalingStudy(prototype *placement.Profile, sizes []int, policy Policy) ([]ScalingPoint, error) {
+	out := make([]ScalingPoint, 0, len(sizes))
+	for _, n := range sizes {
+		if n < 1 {
+			return nil, fmt.Errorf("cluster: invalid size %d", n)
+		}
+		members := make([]*placement.Profile, n)
+		for i := range members {
+			members[i] = prototype
+		}
+		agg, err := Compose(members, policy)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ScalingPoint{Nodes: n, EP: agg.EP()})
+	}
+	return out, nil
+}
+
+// KnightShift composes a primary server with a low-power companion
+// ("knight") that serves low loads while the primary rests — the
+// server-level heterogeneity of Wong & Annavaram (the paper's refs
+// [17]/[40], "scaling the energy proportionality wall"). Below the
+// switch point the knight runs alone (the primary idles, or powers off
+// with primaryOff); above it the primary takes over and the knight
+// powers off. The aggregate curve shows the EP lift heterogeneity buys
+// even when both members are far from proportional.
+func KnightShift(primary, knight *placement.Profile, primaryOff bool) (Aggregate, error) {
+	if primary == nil || knight == nil {
+		return Aggregate{}, errors.New("cluster: knightshift needs both servers")
+	}
+	if knight.MaxOps >= primary.MaxOps {
+		return Aggregate{}, fmt.Errorf("cluster: knight capacity %.0f must sit below the primary's %.0f",
+			knight.MaxOps, primary.MaxOps)
+	}
+	capacity := primary.MaxOps // the knight only offloads; it adds no peak capacity
+	agg := Aggregate{
+		Utilizations: make([]float64, 0, gridSteps+1),
+		PowerWatts:   make([]float64, 0, gridSteps+1),
+		CapacityOps:  capacity,
+		Policy:       PolicyPack, // closest ancestor; reported via ScalingStudy-style callers
+	}
+	switchOps := knight.MaxOps
+	for step := 0; step <= gridSteps; step++ {
+		u := float64(step) / gridSteps
+		demand := capacity * u
+		var watts float64
+		if demand <= switchOps {
+			// Knight mode.
+			watts = knight.PowerAt(demand / knight.MaxOps)
+			if !primaryOff {
+				watts += primary.PowerAt(0)
+			}
+		} else {
+			// Primary mode; knight off.
+			watts = primary.PowerAt(demand / primary.MaxOps)
+		}
+		agg.Utilizations = append(agg.Utilizations, u)
+		agg.PowerWatts = append(agg.PowerWatts, watts)
+	}
+	return agg, nil
+}

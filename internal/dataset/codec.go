@@ -1,0 +1,180 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/internal/microarch"
+)
+
+// csvHeader is the flat CSV schema: one row per result, with the ten
+// load levels flattened into power/ops/actual-load column triples.
+var csvHeader = buildCSVHeader()
+
+func buildCSVHeader() []string {
+	h := []string{
+		"id", "vendor", "system", "form_factor",
+		"published_year", "published_quarter", "hw_avail_year", "hw_avail_quarter",
+		"nodes", "chips", "cores_per_chip", "cpu_model", "codename", "nominal_ghz",
+		"memory_gb", "jvm", "os", "active_idle_watts",
+	}
+	for i := 1; i <= 10; i++ {
+		h = append(h,
+			fmt.Sprintf("power_%d0", i),
+			fmt.Sprintf("ops_%d0", i),
+			fmt.Sprintf("actual_load_%d0", i),
+		)
+	}
+	return h
+}
+
+// WriteCSV writes the results as CSV with a header row.
+func WriteCSV(w io.Writer, results []*Result) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return fmt.Errorf("dataset: write csv header: %w", err)
+	}
+	for _, r := range results {
+		if err := cw.Write(toCSVRow(r)); err != nil {
+			return fmt.Errorf("dataset: write csv row %s: %w", r.ID, err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("dataset: flush csv: %w", err)
+	}
+	return nil
+}
+
+func toCSVRow(r *Result) []string {
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	d := strconv.Itoa
+	row := []string{
+		r.ID, r.Vendor, r.System, r.FormFactor.String(),
+		d(r.PublishedYear), d(r.PublishedQuarter), d(r.HWAvailYear), d(r.HWAvailQuarter),
+		d(r.Nodes), d(r.Chips), d(r.CoresPerChip), r.CPUModel, r.Codename.String(), f(r.NominalGHz),
+		f(r.MemoryGB), r.JVM, r.OS, f(r.ActiveIdleWatts),
+	}
+	for i := 0; i < 10; i++ {
+		var lv LoadLevel
+		if i < len(r.Levels) {
+			lv = r.Levels[i]
+		}
+		row = append(row, f(lv.AvgPowerWatts), f(lv.OpsPerSec), f(lv.ActualLoad))
+	}
+	return row
+}
+
+// ReadCSV parses results written by WriteCSV. It validates the header
+// and field count but not compliance; run Validate/Repository.Valid for
+// that.
+func ReadCSV(r io.Reader) ([]*Result, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = len(csvHeader)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: read csv header: %w", err)
+	}
+	for i, want := range csvHeader {
+		if header[i] != want {
+			return nil, fmt.Errorf("dataset: csv header column %d is %q, want %q", i, header[i], want)
+		}
+	}
+	var out []*Result
+	for line := 2; ; line++ {
+		row, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset: read csv line %d: %w", line, err)
+		}
+		res, err := fromCSVRow(row)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: parse csv line %d: %w", line, err)
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+func fromCSVRow(row []string) (*Result, error) {
+	var (
+		r    Result
+		errs []error
+	)
+	geti := func(s, name string) int {
+		v, err := strconv.Atoi(s)
+		if err != nil {
+			errs = append(errs, fmt.Errorf("%s: %w", name, err))
+		}
+		return v
+	}
+	getf := func(s, name string) float64 {
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			errs = append(errs, fmt.Errorf("%s: %w", name, err))
+		}
+		return v
+	}
+	r.ID, r.Vendor, r.System = row[0], row[1], row[2]
+	ff, err := ParseFormFactor(row[3])
+	if err != nil {
+		errs = append(errs, err)
+	}
+	r.FormFactor = ff
+	r.PublishedYear = geti(row[4], "published_year")
+	r.PublishedQuarter = geti(row[5], "published_quarter")
+	r.HWAvailYear = geti(row[6], "hw_avail_year")
+	r.HWAvailQuarter = geti(row[7], "hw_avail_quarter")
+	r.Nodes = geti(row[8], "nodes")
+	r.Chips = geti(row[9], "chips")
+	r.CoresPerChip = geti(row[10], "cores_per_chip")
+	r.CPUModel = row[11]
+	cn, err := microarch.ParseCodename(row[12])
+	if err != nil {
+		// Unknown codenames are data, not corruption: keep the fallback.
+		cn = microarch.UnknownCodename
+	}
+	r.Codename = cn
+	r.NominalGHz = getf(row[13], "nominal_ghz")
+	r.MemoryGB = getf(row[14], "memory_gb")
+	r.JVM, r.OS = row[15], row[16]
+	r.ActiveIdleWatts = getf(row[17], "active_idle_watts")
+	r.Levels = make([]LoadLevel, 10)
+	for i := 0; i < 10; i++ {
+		base := 18 + 3*i
+		r.Levels[i] = LoadLevel{
+			TargetLoad:    float64(i+1) / 10,
+			AvgPowerWatts: getf(row[base], "power"),
+			OpsPerSec:     getf(row[base+1], "ops"),
+			ActualLoad:    getf(row[base+2], "actual_load"),
+		}
+	}
+	if len(errs) > 0 {
+		return nil, errs[0]
+	}
+	return &r, nil
+}
+
+// WriteJSON writes the results as a JSON array (indented).
+func WriteJSON(w io.Writer, results []*Result) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(results); err != nil {
+		return fmt.Errorf("dataset: encode json: %w", err)
+	}
+	return nil
+}
+
+// ReadJSON parses a JSON array of results.
+func ReadJSON(r io.Reader) ([]*Result, error) {
+	var out []*Result
+	if err := json.NewDecoder(r).Decode(&out); err != nil {
+		return nil, fmt.Errorf("dataset: decode json: %w", err)
+	}
+	return out, nil
+}

@@ -1,0 +1,145 @@
+package dataset
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/microarch"
+)
+
+// randomResult builds a random plausible (not necessarily compliant)
+// result for codec property tests.
+func randomResult(rng *rand.Rand, id string) *Result {
+	codes := microarch.AllCodenames()
+	r := &Result{
+		ID:               id,
+		Vendor:           "Vendor-" + string(rune('A'+rng.Intn(26))),
+		System:           "Sys, with \"quotes\" and, commas",
+		FormFactor:       FormFactor(1 + rng.Intn(4)),
+		PublishedYear:    2007 + rng.Intn(10),
+		PublishedQuarter: 1 + rng.Intn(4),
+		HWAvailYear:      2004 + rng.Intn(13),
+		HWAvailQuarter:   1 + rng.Intn(4),
+		Nodes:            1 + rng.Intn(4),
+		CoresPerChip:     1 + rng.Intn(18),
+		CPUModel:         "Intel Xeon E5-2620 v3",
+		Codename:         codes[rng.Intn(len(codes))],
+		NominalGHz:       1.2 + 2.4*rng.Float64(),
+		MemoryGB:         float64(1 + rng.Intn(512)),
+		JVM:              "JVM\twith tab",
+		OS:               "OS with ünïcode",
+	}
+	r.Chips = r.Nodes * (1 + rng.Intn(2))
+	idle := 20 + 100*rng.Float64()
+	r.ActiveIdleWatts = idle
+	prev := idle
+	r.Levels = make([]LoadLevel, 10)
+	for i := range r.Levels {
+		u := float64(i+1) / 10
+		prev += rng.Float64() * 40
+		r.Levels[i] = LoadLevel{
+			TargetLoad:    u,
+			ActualLoad:    u * (1 + 0.01*rng.NormFloat64()),
+			OpsPerSec:     (u + 0.001*float64(i)) * 1e6 * (0.5 + rng.Float64()),
+			AvgPowerWatts: prev,
+		}
+	}
+	return r
+}
+
+func TestCSVRoundTripPropertyRandomResults(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 50; trial++ {
+		in := make([]*Result, 1+rng.Intn(5))
+		for i := range in {
+			in[i] = randomResult(rng, "rt")
+		}
+		var buf bytes.Buffer
+		if err := WriteCSV(&buf, in); err != nil {
+			t.Fatal(err)
+		}
+		out, err := ReadCSV(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("trial %d: %v\ncsv:\n%s", trial, err, buf.String())
+		}
+		if len(out) != len(in) {
+			t.Fatalf("trial %d: %d of %d survived", trial, len(out), len(in))
+		}
+		for i := range in {
+			a, b := in[i], out[i]
+			if a.Vendor != b.Vendor || a.System != b.System || a.JVM != b.JVM || a.OS != b.OS {
+				t.Fatalf("trial %d: string field drift: %+v vs %+v", trial, a, b)
+			}
+			if a.Codename != b.Codename || a.FormFactor != b.FormFactor {
+				t.Fatalf("trial %d: enum drift", trial)
+			}
+			if a.NominalGHz != b.NominalGHz || a.MemoryGB != b.MemoryGB || a.ActiveIdleWatts != b.ActiveIdleWatts {
+				t.Fatalf("trial %d: float drift", trial)
+			}
+			for j := range a.Levels {
+				if a.Levels[j] != b.Levels[j] {
+					t.Fatalf("trial %d: level %d drift: %+v vs %+v", trial, j, a.Levels[j], b.Levels[j])
+				}
+			}
+			// Derived metrics survive bit-for-bit.
+			if ca, errA := a.Curve(); errA == nil {
+				cb, errB := b.Curve()
+				if errB != nil {
+					t.Fatalf("trial %d: curve lost in round trip", trial)
+				}
+				if math.Abs(ca.EP()-cb.EP()) > 1e-12 {
+					t.Fatalf("trial %d: EP drift", trial)
+				}
+			}
+		}
+	}
+}
+
+func TestJSONRoundTripPropertyRandomResults(t *testing.T) {
+	rng := rand.New(rand.NewSource(78))
+	for trial := 0; trial < 30; trial++ {
+		in := []*Result{randomResult(rng, "json-rt")}
+		var buf bytes.Buffer
+		if err := WriteJSON(&buf, in); err != nil {
+			t.Fatal(err)
+		}
+		out, err := ReadJSON(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, b := in[0], out[0]
+		if a.Vendor != b.Vendor || a.Codename != b.Codename || len(a.Levels) != len(b.Levels) {
+			t.Fatalf("trial %d: drift", trial)
+		}
+		for j := range a.Levels {
+			if a.Levels[j] != b.Levels[j] {
+				t.Fatalf("trial %d: level %d drift", trial, j)
+			}
+		}
+	}
+}
+
+func TestValidateIdempotent(t *testing.T) {
+	// Validate must not mutate the result: validating twice gives the
+	// same verdict, and the curve afterwards is unchanged.
+	rng := rand.New(rand.NewSource(79))
+	for trial := 0; trial < 30; trial++ {
+		r := randomResult(rng, "idem")
+		before := r.Clone()
+		err1 := Validate(r)
+		err2 := Validate(r)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("trial %d: verdict changed on revalidation", trial)
+		}
+		if r.ActiveIdleWatts != before.ActiveIdleWatts || len(r.Levels) != len(before.Levels) {
+			t.Fatalf("trial %d: Validate mutated the result", trial)
+		}
+		for j := range r.Levels {
+			if r.Levels[j] != before.Levels[j] {
+				t.Fatalf("trial %d: Validate mutated level %d", trial, j)
+			}
+		}
+	}
+}

@@ -1,0 +1,209 @@
+package dataset
+
+import (
+	"sort"
+
+	"repro/internal/microarch"
+)
+
+// Repository is an in-memory collection of results with the filtering
+// and grouping operations the analyses use. It stores pointers; callers
+// must not mutate results after adding them.
+type Repository struct {
+	results []*Result
+}
+
+// NewRepository builds a repository over the given results.
+func NewRepository(results []*Result) *Repository {
+	return &Repository{results: append([]*Result(nil), results...)}
+}
+
+// Add appends results.
+func (rp *Repository) Add(results ...*Result) {
+	rp.results = append(rp.results, results...)
+}
+
+// Len returns the number of stored results.
+func (rp *Repository) Len() int { return len(rp.results) }
+
+// All returns the stored results (shared pointers, fresh slice).
+func (rp *Repository) All() []*Result {
+	return append([]*Result(nil), rp.results...)
+}
+
+// Valid returns a repository containing only compliant results — the
+// paper's 517 → 477 step.
+func (rp *Repository) Valid() *Repository {
+	return rp.Filter(IsCompliant)
+}
+
+// NonCompliant returns the results that fail validation.
+func (rp *Repository) NonCompliant() *Repository {
+	return rp.Filter(func(r *Result) bool { return !IsCompliant(r) })
+}
+
+// Filter returns a repository of the results for which keep returns true.
+func (rp *Repository) Filter(keep func(*Result) bool) *Repository {
+	out := make([]*Result, 0, len(rp.results))
+	for _, r := range rp.results {
+		if keep(r) {
+			out = append(out, r)
+		}
+	}
+	return &Repository{results: out}
+}
+
+// SingleNode returns only single-node results.
+func (rp *Repository) SingleNode() *Repository {
+	return rp.Filter(func(r *Result) bool { return r.Nodes == 1 })
+}
+
+// MultiNode returns only results with more than one node.
+func (rp *Repository) MultiNode() *Repository {
+	return rp.Filter(func(r *Result) bool { return r.Nodes > 1 })
+}
+
+// YearRange returns results whose hardware availability year lies in
+// [from, to] inclusive.
+func (rp *Repository) YearRange(from, to int) *Repository {
+	return rp.Filter(func(r *Result) bool {
+		return r.HWAvailYear >= from && r.HWAvailYear <= to
+	})
+}
+
+// ByHWYear groups results by hardware availability year.
+func (rp *Repository) ByHWYear() map[int][]*Result {
+	return rp.groupInt(func(r *Result) int { return r.HWAvailYear })
+}
+
+// ByPublishedYear groups results by the year SPEC published them.
+func (rp *Repository) ByPublishedYear() map[int][]*Result {
+	return rp.groupInt(func(r *Result) int { return r.PublishedYear })
+}
+
+// ByNodes groups results by total node count.
+func (rp *Repository) ByNodes() map[int][]*Result {
+	return rp.groupInt(func(r *Result) int { return r.Nodes })
+}
+
+// ByChips groups results by total chip count.
+func (rp *Repository) ByChips() map[int][]*Result {
+	return rp.groupInt(func(r *Result) int { return r.Chips })
+}
+
+func (rp *Repository) groupInt(key func(*Result) int) map[int][]*Result {
+	out := make(map[int][]*Result)
+	for _, r := range rp.results {
+		k := key(r)
+		out[k] = append(out[k], r)
+	}
+	return out
+}
+
+// ByFamily groups results by microarchitecture family (Fig. 6).
+func (rp *Repository) ByFamily() map[microarch.Family][]*Result {
+	out := make(map[microarch.Family][]*Result)
+	for _, r := range rp.results {
+		f := r.Codename.Family()
+		out[f] = append(out[f], r)
+	}
+	return out
+}
+
+// ByCodename groups results by processor codename (Fig. 7).
+func (rp *Repository) ByCodename() map[microarch.Codename][]*Result {
+	out := make(map[microarch.Codename][]*Result)
+	for _, r := range rp.results {
+		out[r.Codename] = append(out[r.Codename], r)
+	}
+	return out
+}
+
+// HWYears returns the distinct hardware availability years in ascending
+// order.
+func (rp *Repository) HWYears() []int {
+	seen := make(map[int]bool)
+	for _, r := range rp.results {
+		seen[r.HWAvailYear] = true
+	}
+	years := make([]int, 0, len(seen))
+	for y := range seen {
+		years = append(years, y)
+	}
+	sort.Ints(years)
+	return years
+}
+
+// EPs returns the energy proportionality of every result, in repository
+// order.
+func (rp *Repository) EPs() []float64 {
+	out := make([]float64, len(rp.results))
+	for i, r := range rp.results {
+		out[i] = r.EP()
+	}
+	return out
+}
+
+// OverallEEs returns the SPECpower score of every result, in repository
+// order.
+func (rp *Repository) OverallEEs() []float64 {
+	out := make([]float64, len(rp.results))
+	for i, r := range rp.results {
+		out[i] = r.OverallEE()
+	}
+	return out
+}
+
+// SortByEP returns the results sorted by ascending EP (stable, copy).
+func (rp *Repository) SortByEP() []*Result {
+	out := rp.All()
+	sort.SliceStable(out, func(i, j int) bool { return out[i].EP() < out[j].EP() })
+	return out
+}
+
+// YearMismatched returns results whose published year differs from their
+// hardware availability year — the 74 results (15.5%) the paper calls
+// out.
+func (rp *Repository) YearMismatched() *Repository {
+	return rp.Filter(func(r *Result) bool { return r.PublishedYear != r.HWAvailYear })
+}
+
+// Merge combines repositories into one, de-duplicating by result ID
+// (first occurrence wins). Use it to combine incremental corpus
+// snapshots or mix measured and simulated results.
+func Merge(repos ...*Repository) *Repository {
+	seen := make(map[string]bool)
+	var out []*Result
+	for _, rp := range repos {
+		if rp == nil {
+			continue
+		}
+		for _, r := range rp.results {
+			if r.ID != "" && seen[r.ID] {
+				continue
+			}
+			seen[r.ID] = true
+			out = append(out, r)
+		}
+	}
+	return &Repository{results: out}
+}
+
+// IDs returns every result ID in repository order.
+func (rp *Repository) IDs() []string {
+	out := make([]string, len(rp.results))
+	for i, r := range rp.results {
+		out[i] = r.ID
+	}
+	return out
+}
+
+// FindByID returns the result with the given ID, or nil.
+func (rp *Repository) FindByID(id string) *Result {
+	for _, r := range rp.results {
+		if r.ID == id {
+			return r
+		}
+	}
+	return nil
+}

@@ -1,0 +1,193 @@
+// Package dataset models published SPECpower_ssj2008 results: the
+// per-server disclosure (system configuration, dates, CPU, memory,
+// node/chip population) together with the eleven power/performance
+// measurement intervals. It provides compliance validation (the paper's
+// 517 → 477 filtering step), CSV and JSON codecs, and a Repository with
+// the filtering and grouping operations the analyses are built on.
+package dataset
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/microarch"
+)
+
+// FormFactor is the chassis type disclosed with a result.
+type FormFactor int
+
+// Form factors appearing in SPECpower disclosures.
+const (
+	FormRack FormFactor = iota + 1
+	FormTower
+	FormBlade
+	FormMultiNode
+)
+
+// String returns the disclosure name of the form factor.
+func (f FormFactor) String() string {
+	switch f {
+	case FormRack:
+		return "Rack"
+	case FormTower:
+		return "Tower"
+	case FormBlade:
+		return "Blade"
+	case FormMultiNode:
+		return "Multi Node"
+	default:
+		return "Unknown"
+	}
+}
+
+// ParseFormFactor inverts String.
+func ParseFormFactor(s string) (FormFactor, error) {
+	switch s {
+	case "Rack":
+		return FormRack, nil
+	case "Tower":
+		return FormTower, nil
+	case "Blade":
+		return FormBlade, nil
+	case "Multi Node":
+		return FormMultiNode, nil
+	default:
+		return 0, fmt.Errorf("dataset: unknown form factor %q", s)
+	}
+}
+
+// LoadLevel is one graduated measurement interval of a run.
+type LoadLevel struct {
+	// TargetLoad is the scheduled load fraction (0.10 .. 1.00).
+	TargetLoad float64 `json:"target_load"`
+	// ActualLoad is the achieved load fraction; compliant runs stay
+	// within a small tolerance of the target.
+	ActualLoad float64 `json:"actual_load"`
+	// OpsPerSec is the measured throughput in ssj_ops.
+	OpsPerSec float64 `json:"ssj_ops"`
+	// AvgPowerWatts is the average active power over the interval.
+	AvgPowerWatts float64 `json:"avg_power_watts"`
+}
+
+// Result is one SPECpower_ssj2008 submission as published by SPEC.
+type Result struct {
+	// ID is a stable identifier (SPEC publishes e.g. "power_ssj2008-20160823-00756").
+	ID string `json:"id"`
+	// Vendor is the submitting hardware vendor.
+	Vendor string `json:"vendor"`
+	// System is the marketed system name.
+	System string `json:"system"`
+	// FormFactor is the chassis type.
+	FormFactor FormFactor `json:"form_factor"`
+
+	// PublishedYear/Quarter is when SPEC published the result.
+	PublishedYear    int `json:"published_year"`
+	PublishedQuarter int `json:"published_quarter"`
+	// HWAvailYear/Quarter is when the hardware became generally
+	// available — the paper's preferred time axis.
+	HWAvailYear    int `json:"hw_avail_year"`
+	HWAvailQuarter int `json:"hw_avail_quarter"`
+
+	// Nodes is the number of server nodes under test (1 for a single
+	// node result; multi-node results aggregate identical nodes).
+	Nodes int `json:"nodes"`
+	// Chips is the total populated processor sockets across all nodes.
+	Chips int `json:"chips"`
+	// CoresPerChip is the core count of each processor.
+	CoresPerChip int `json:"cores_per_chip"`
+	// CPUModel is the disclosed processor model string.
+	CPUModel string `json:"cpu_model"`
+	// Codename is the processor generation (parsed or disclosed).
+	Codename microarch.Codename `json:"codename"`
+	// NominalGHz is the processor's nominal frequency.
+	NominalGHz float64 `json:"nominal_ghz"`
+
+	// MemoryGB is the total installed memory.
+	MemoryGB float64 `json:"memory_gb"`
+	// JVM and OS identify the software stack.
+	JVM string `json:"jvm"`
+	OS  string `json:"os"`
+
+	// ActiveIdleWatts is the measured power with zero load.
+	ActiveIdleWatts float64 `json:"active_idle_watts"`
+	// Levels are the ten graduated measurement intervals ordered from
+	// 10% to 100% target load.
+	Levels []LoadLevel `json:"levels"`
+}
+
+// TotalCores returns the total core count across all chips.
+func (r *Result) TotalCores() int { return r.Chips * r.CoresPerChip }
+
+// MemoryPerCore returns installed GB per core — the paper's MPC axis.
+func (r *Result) MemoryPerCore() float64 {
+	cores := r.TotalCores()
+	if cores == 0 {
+		return 0
+	}
+	return r.MemoryGB / float64(cores)
+}
+
+// ChipsPerNode returns populated sockets per node.
+func (r *Result) ChipsPerNode() int {
+	if r.Nodes == 0 {
+		return 0
+	}
+	return r.Chips / r.Nodes
+}
+
+// Curve assembles the result's eleven points into a core.Curve. Results
+// that fail curve validation are non-compliant by definition.
+func (r *Result) Curve() (*core.Curve, error) {
+	points := make([]core.Point, 0, len(r.Levels)+1)
+	points = append(points, core.Point{Utilization: 0, PowerWatts: r.ActiveIdleWatts})
+	for _, lv := range r.Levels {
+		points = append(points, core.Point{
+			Utilization: lv.TargetLoad,
+			OpsPerSec:   lv.OpsPerSec,
+			PowerWatts:  lv.AvgPowerWatts,
+		})
+	}
+	c, err := core.NewCurve(points)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: result %s: %w", r.ID, err)
+	}
+	return c, nil
+}
+
+// MustCurve returns the curve of a result already known valid.
+// It panics when the curve cannot be built; analyses call it only on
+// results that passed Validate.
+func (r *Result) MustCurve() *core.Curve {
+	c, err := r.Curve()
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// OverallEE returns the SPECpower score (overall ssj_ops per watt), or
+// zero when the curve is invalid.
+func (r *Result) OverallEE() float64 {
+	c, err := r.Curve()
+	if err != nil {
+		return 0
+	}
+	return c.OverallEE()
+}
+
+// EP returns the result's energy proportionality (paper Eq. 1), or zero
+// when the curve is invalid.
+func (r *Result) EP() float64 {
+	c, err := r.Curve()
+	if err != nil {
+		return 0
+	}
+	return c.EP()
+}
+
+// Clone returns a deep copy of the result.
+func (r *Result) Clone() *Result {
+	out := *r
+	out.Levels = append([]LoadLevel(nil), r.Levels...)
+	return &out
+}

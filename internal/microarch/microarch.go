@@ -1,0 +1,338 @@
+// Package microarch models the CPU taxonomy the paper groups servers by:
+// vendor, microarchitecture family (the Fig. 6 grouping), codename (the
+// Fig. 7 grouping), lithography node, Intel tick/tock designation, and
+// first hardware availability year. It also parses the CPU model strings
+// that appear in SPECpower disclosures (e.g. "Intel Xeon E5-2620 v3").
+package microarch
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Vendor identifies a CPU vendor.
+type Vendor int
+
+// Vendors appearing in the dataset.
+const (
+	VendorIntel Vendor = iota + 1
+	VendorAMD
+	VendorOther
+)
+
+// String returns the vendor name.
+func (v Vendor) String() string {
+	switch v {
+	case VendorIntel:
+		return "Intel"
+	case VendorAMD:
+		return "AMD"
+	default:
+		return "Other"
+	}
+}
+
+// Family is the coarse microarchitecture grouping of the paper's Fig. 6:
+// Intel families fold die-shrink generations into their parent tock
+// (Westmere into Nehalem, Ivy Bridge into Sandy Bridge, Broadwell into
+// Haswell); all AMD parts form one group.
+type Family int
+
+// Families in chronological order of first availability.
+const (
+	FamilyNetburst Family = iota + 1
+	FamilyCore
+	FamilyNehalem
+	FamilySandyBridge
+	FamilyHaswell
+	FamilySkylake
+	FamilyAMD
+	FamilyUnknown
+)
+
+// String returns the family name as used in the paper's figures.
+func (f Family) String() string {
+	switch f {
+	case FamilyNetburst:
+		return "Netburst"
+	case FamilyCore:
+		return "Core"
+	case FamilyNehalem:
+		return "Nehalem"
+	case FamilySandyBridge:
+		return "Sandy Bridge"
+	case FamilyHaswell:
+		return "Haswell"
+	case FamilySkylake:
+		return "Skylake"
+	case FamilyAMD:
+		return "AMD CPU"
+	default:
+		return "N/A"
+	}
+}
+
+// AllFamilies lists the families in chronological order.
+func AllFamilies() []Family {
+	return []Family{
+		FamilyNetburst, FamilyCore, FamilyNehalem, FamilySandyBridge,
+		FamilyHaswell, FamilySkylake, FamilyAMD, FamilyUnknown,
+	}
+}
+
+// Step is Intel's tick/tock designation: a tock introduces a new
+// microarchitecture, a tick shrinks it to a finer process.
+type Step int
+
+// Tick/tock steps; StepNone covers non-Intel parts and unknowns.
+const (
+	StepTock Step = iota + 1
+	StepTick
+	StepNone
+)
+
+// String returns "tock", "tick", or "-".
+func (s Step) String() string {
+	switch s {
+	case StepTock:
+		return "tock"
+	case StepTick:
+		return "tick"
+	default:
+		return "-"
+	}
+}
+
+// Codename is the fine-grained processor generation of the paper's
+// Fig. 7.
+type Codename int
+
+// Codenames in rough chronological order.
+const (
+	Netburst Codename = iota + 1
+	CoreMerom
+	Penryn
+	Yorkfield
+	Lynnfield
+	NehalemEP
+	NehalemEX
+	Westmere
+	WestmereEP
+	SandyBridge
+	SandyBridgeEP
+	SandyBridgeEN
+	IvyBridge
+	IvyBridgeEP
+	Haswell
+	Broadwell
+	Skylake
+	Interlagos
+	AbuDhabi
+	Seoul
+	UnknownCodename
+)
+
+// Info describes one codename's static attributes.
+type Info struct {
+	Codename  Codename
+	Name      string
+	Vendor    Vendor
+	Family    Family
+	ProcessNM int
+	Step      Step
+	// FirstYear is the first hardware availability year of servers using
+	// this generation in the SPECpower dataset.
+	FirstYear int
+	// LastYear is the last hardware availability year observed.
+	LastYear int
+}
+
+// infoTable is the static codename registry. Years follow the hardware
+// availability span observed in the SPECpower results the paper studies.
+var infoTable = map[Codename]Info{
+	Netburst:        {Netburst, "Netburst", VendorIntel, FamilyNetburst, 90, StepNone, 2004, 2006},
+	CoreMerom:       {CoreMerom, "Core", VendorIntel, FamilyCore, 65, StepTock, 2006, 2008},
+	Penryn:          {Penryn, "Penryn", VendorIntel, FamilyCore, 45, StepTick, 2007, 2009},
+	Yorkfield:       {Yorkfield, "Yorkfield", VendorIntel, FamilyCore, 45, StepTick, 2008, 2009},
+	Lynnfield:       {Lynnfield, "Lynnfield", VendorIntel, FamilyNehalem, 45, StepTock, 2009, 2010},
+	NehalemEP:       {NehalemEP, "Nehalem EP", VendorIntel, FamilyNehalem, 45, StepTock, 2009, 2010},
+	NehalemEX:       {NehalemEX, "Nehalem EX", VendorIntel, FamilyNehalem, 45, StepTock, 2010, 2010},
+	Westmere:        {Westmere, "Westmere", VendorIntel, FamilyNehalem, 32, StepTick, 2010, 2011},
+	WestmereEP:      {WestmereEP, "Westmere-EP", VendorIntel, FamilyNehalem, 32, StepTick, 2010, 2011},
+	SandyBridge:     {SandyBridge, "Sandy Bridge", VendorIntel, FamilySandyBridge, 32, StepTock, 2011, 2012},
+	SandyBridgeEP:   {SandyBridgeEP, "Sandy Bridge EP", VendorIntel, FamilySandyBridge, 32, StepTock, 2012, 2013},
+	SandyBridgeEN:   {SandyBridgeEN, "Sandy Bridge EN", VendorIntel, FamilySandyBridge, 32, StepTock, 2012, 2013},
+	IvyBridge:       {IvyBridge, "Ivy Bridge", VendorIntel, FamilySandyBridge, 22, StepTick, 2012, 2014},
+	IvyBridgeEP:     {IvyBridgeEP, "Ivy Bridge EP", VendorIntel, FamilySandyBridge, 22, StepTick, 2013, 2014},
+	Haswell:         {Haswell, "Haswell", VendorIntel, FamilyHaswell, 22, StepTock, 2013, 2016},
+	Broadwell:       {Broadwell, "Broadwell", VendorIntel, FamilyHaswell, 14, StepTick, 2015, 2016},
+	Skylake:         {Skylake, "Skylake", VendorIntel, FamilySkylake, 14, StepTock, 2015, 2016},
+	Interlagos:      {Interlagos, "Interlagos", VendorAMD, FamilyAMD, 32, StepNone, 2011, 2012},
+	AbuDhabi:        {AbuDhabi, "Abu Dhabi", VendorAMD, FamilyAMD, 32, StepNone, 2012, 2013},
+	Seoul:           {Seoul, "Seoul", VendorAMD, FamilyAMD, 32, StepNone, 2012, 2013},
+	UnknownCodename: {UnknownCodename, "N/A", VendorOther, FamilyUnknown, 0, StepNone, 2004, 2016},
+}
+
+// Info returns the codename's static attributes. Unknown codenames map
+// to the UnknownCodename entry.
+func (c Codename) Info() Info {
+	if info, ok := infoTable[c]; ok {
+		return info
+	}
+	return infoTable[UnknownCodename]
+}
+
+// String returns the codename as printed in the paper's Fig. 7.
+func (c Codename) String() string { return c.Info().Name }
+
+// Family returns the Fig. 6 grouping the codename belongs to.
+func (c Codename) Family() Family { return c.Info().Family }
+
+// Vendor returns the codename's vendor.
+func (c Codename) Vendor() Vendor { return c.Info().Vendor }
+
+// AllCodenames lists every known codename in chronological order.
+func AllCodenames() []Codename {
+	return []Codename{
+		Netburst, CoreMerom, Penryn, Yorkfield, Lynnfield, NehalemEP,
+		NehalemEX, Westmere, WestmereEP, SandyBridge, SandyBridgeEP,
+		SandyBridgeEN, IvyBridge, IvyBridgeEP, Haswell, Broadwell,
+		Skylake, Interlagos, AbuDhabi, Seoul,
+	}
+}
+
+// ParseCodename maps a codename's display name back to the Codename,
+// accepting the exact strings produced by String().
+func ParseCodename(s string) (Codename, error) {
+	for c, info := range infoTable {
+		if info.Name == s {
+			return c, nil
+		}
+	}
+	return UnknownCodename, fmt.Errorf("microarch: unknown codename %q", s)
+}
+
+// ParseCPUModel maps a SPECpower disclosure CPU model string to its
+// codename. It recognizes the Intel Xeon and AMD Opteron families that
+// dominate the dataset plus the desktop parts that appear occasionally;
+// anything else maps to UnknownCodename with ok = false.
+func ParseCPUModel(model string) (Codename, bool) {
+	m := strings.ToLower(strings.Join(strings.Fields(model), " "))
+	switch {
+	case strings.Contains(m, "opteron"):
+		return parseOpteron(m)
+	case strings.Contains(m, "intel") || strings.Contains(m, "xeon") ||
+		strings.Contains(m, "core i") || strings.Contains(m, "pentium"):
+		return parseIntel(m)
+	default:
+		return UnknownCodename, false
+	}
+}
+
+func parseOpteron(m string) (Codename, bool) {
+	switch {
+	// Opteron 6200 (Interlagos), 6300 (Abu Dhabi), 4300/3300 (Seoul/Delhi).
+	case strings.Contains(m, "62"):
+		return Interlagos, true
+	case strings.Contains(m, "63"):
+		return AbuDhabi, true
+	case strings.Contains(m, "43") || strings.Contains(m, "33"):
+		return Seoul, true
+	default:
+		return UnknownCodename, false
+	}
+}
+
+func parseIntel(m string) (Codename, bool) {
+	// Version suffixes on E3/E5/E7 parts select the generation.
+	version := 1
+	for v := 2; v <= 6; v++ {
+		if strings.Contains(m, fmt.Sprintf(" v%d", v)) {
+			version = v
+		}
+	}
+	switch {
+	case strings.Contains(m, "pentium 4") || strings.Contains(m, "pentium d") ||
+		strings.Contains(m, "xeon 50") || strings.Contains(m, "xeon 70") ||
+		strings.Contains(m, "xeon 71"):
+		return Netburst, true
+	case strings.Contains(m, "xeon 51") || strings.Contains(m, "xeon 53") ||
+		strings.Contains(m, "xeon 30") || strings.Contains(m, "xeon 32") ||
+		strings.Contains(m, "xeon 73"):
+		return CoreMerom, true
+	case strings.Contains(m, "xeon 52") || strings.Contains(m, "xeon 54") ||
+		strings.Contains(m, "xeon l54") || strings.Contains(m, "xeon e54") ||
+		strings.Contains(m, "xeon x54") || strings.Contains(m, "xeon 74"):
+		return Penryn, true
+	case strings.Contains(m, "xeon x33") || strings.Contains(m, "xeon l33"):
+		return Yorkfield, true
+	case strings.Contains(m, "xeon x34") || strings.Contains(m, "xeon l34") ||
+		strings.Contains(m, "lynnfield"):
+		return Lynnfield, true
+	case strings.Contains(m, "xeon x55") || strings.Contains(m, "xeon e55") ||
+		strings.Contains(m, "xeon l55") || strings.Contains(m, "xeon w55"):
+		return NehalemEP, true
+	case strings.Contains(m, "xeon x75") || strings.Contains(m, "xeon e65") ||
+		strings.Contains(m, "xeon x65") || strings.Contains(m, "xeon l75"):
+		return NehalemEX, true
+	case strings.Contains(m, "xeon x56") || strings.Contains(m, "xeon e56") ||
+		strings.Contains(m, "xeon l56"):
+		return WestmereEP, true
+	case strings.Contains(m, "xeon e7-") && version == 1:
+		return Westmere, true
+	case strings.Contains(m, "xeon x36") || strings.Contains(m, "xeon l36"):
+		return Westmere, true
+	case strings.Contains(m, "e5-24") && version == 1:
+		return SandyBridgeEN, true
+	case strings.Contains(m, "e5-24") && version == 2:
+		return IvyBridgeEP, true
+	case strings.Contains(m, "e5-26") || strings.Contains(m, "e5-16") ||
+		strings.Contains(m, "e5-46"):
+		switch version {
+		case 1:
+			return SandyBridgeEP, true
+		case 2:
+			return IvyBridgeEP, true
+		case 3:
+			return Haswell, true
+		default:
+			return Broadwell, true
+		}
+	case strings.Contains(m, "e7-"):
+		switch version {
+		case 2:
+			return IvyBridgeEP, true
+		case 3:
+			return Haswell, true
+		default:
+			return Broadwell, true
+		}
+	case strings.Contains(m, "e3-12"):
+		switch version {
+		case 1:
+			return SandyBridge, true
+		case 2:
+			return IvyBridge, true
+		case 3:
+			return Haswell, true
+		case 4:
+			return Broadwell, true
+		default:
+			return Skylake, true
+		}
+	case strings.Contains(m, "e3-15"):
+		if version >= 5 {
+			return Skylake, true
+		}
+		return Haswell, true
+	case strings.Contains(m, "d-15"):
+		return Broadwell, true
+	case strings.Contains(m, "core i5-45") || strings.Contains(m, "core i7-47") ||
+		strings.Contains(m, "core i3-43"):
+		return Haswell, true
+	case strings.Contains(m, "core i5-65") || strings.Contains(m, "core i7-67"):
+		return Skylake, true
+	default:
+		return UnknownCodename, false
+	}
+}

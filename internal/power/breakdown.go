@@ -1,0 +1,99 @@
+package power
+
+// Component identifies one power consumer inside a server.
+type Component int
+
+// Components in reporting order.
+const (
+	ComponentCPU Component = iota + 1
+	ComponentMemory
+	ComponentStorage
+	ComponentPlatform
+	ComponentFans
+	ComponentPSULoss
+)
+
+// String returns the component name.
+func (c Component) String() string {
+	switch c {
+	case ComponentCPU:
+		return "CPU"
+	case ComponentMemory:
+		return "Memory"
+	case ComponentStorage:
+		return "Storage"
+	case ComponentPlatform:
+		return "Platform"
+	case ComponentFans:
+		return "Fans"
+	case ComponentPSULoss:
+		return "PSU loss"
+	default:
+		return "Unknown"
+	}
+}
+
+// AllComponents lists the components in reporting order.
+func AllComponents() []Component {
+	return []Component{
+		ComponentCPU, ComponentMemory, ComponentStorage,
+		ComponentPlatform, ComponentFans, ComponentPSULoss,
+	}
+}
+
+// Breakdown is a per-component wall-power attribution at one operating
+// point. PSU conversion loss is attributed explicitly so the parts sum
+// to the wall draw.
+type Breakdown struct {
+	Watts map[Component]float64
+	// TotalWatts is the wall power (the sum of all components).
+	TotalWatts float64
+}
+
+// Share returns the component's fraction of wall power.
+func (b Breakdown) Share(c Component) float64 {
+	if b.TotalWatts <= 0 {
+		return 0
+	}
+	return b.Watts[c] / b.TotalWatts
+}
+
+// PowerBreakdown attributes the server's wall power at the given busy
+// fraction and frequency to its components. It exposes where the watts
+// go — e.g. why adding DIMMs past the workload's memory demand erodes
+// efficiency (§V.A), or why idle platform power bounds proportionality
+// (§III.D).
+func (s ServerConfig) PowerBreakdown(busy, freqGHz float64) Breakdown {
+	busy = clamp01(busy)
+	b := Breakdown{Watts: make(map[Component]float64, 6)}
+	b.Watts[ComponentCPU] = float64(s.CPUCount) * s.CPU.Power(busy, freqGHz)
+	memActivity := 0.1 + 0.9*busy
+	var mem float64
+	for _, d := range s.DIMMs {
+		mem += d.Power(memActivity)
+	}
+	b.Watts[ComponentMemory] = mem
+	var disk float64
+	for _, d := range s.Disks {
+		disk += d.Power(busy)
+	}
+	b.Watts[ComponentStorage] = disk
+	b.Watts[ComponentPlatform] = s.PlatformIdleWatts
+	b.Watts[ComponentFans] = s.FanBaseWatts + s.FanSwingWatts*busy*busy
+
+	dc := b.Watts[ComponentCPU] + mem + disk + b.Watts[ComponentPlatform] + b.Watts[ComponentFans]
+	wall := s.PSU.WallPower(dc)
+	b.Watts[ComponentPSULoss] = wall - dc
+	b.TotalWatts = wall
+	return b
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}

@@ -1,0 +1,97 @@
+package power
+
+import (
+	"fmt"
+	"math"
+)
+
+// GovernorKind enumerates the Linux cpufreq governors the paper's
+// experiments sweep.
+type GovernorKind int
+
+// Governors.
+const (
+	GovernorPerformance GovernorKind = iota + 1
+	GovernorOnDemand
+	GovernorPowerSave
+	GovernorUserSpace
+)
+
+// Governor selects the CPU frequency policy for a run. For
+// GovernorUserSpace, FixedGHz pins the frequency; other kinds ignore it.
+type Governor struct {
+	Kind     GovernorKind
+	FixedGHz float64
+}
+
+// Performance runs at the highest P-state.
+func Performance() Governor { return Governor{Kind: GovernorPerformance} }
+
+// OnDemand ramps to the top frequency while busy.
+func OnDemand() Governor { return Governor{Kind: GovernorOnDemand} }
+
+// PowerSave pins the lowest P-state.
+func PowerSave() Governor { return Governor{Kind: GovernorPowerSave} }
+
+// UserSpace pins the given frequency.
+func UserSpace(freqGHz float64) Governor {
+	return Governor{Kind: GovernorUserSpace, FixedGHz: freqGHz}
+}
+
+// Name returns the cpufreq-style governor name; userspace governors
+// include the pinned frequency.
+func (g Governor) Name() string {
+	switch g.Kind {
+	case GovernorPerformance:
+		return "performance"
+	case GovernorOnDemand:
+		return "ondemand"
+	case GovernorPowerSave:
+		return "powersave"
+	case GovernorUserSpace:
+		return fmt.Sprintf("%.1fGHz", g.FixedGHz)
+	default:
+		return "unknown"
+	}
+}
+
+// onDemand ramp-lag constants: the governor samples utilization and
+// lags bursts slightly, costing a little throughput and running busy
+// phases marginally below the top P-state.
+const (
+	onDemandFreqFactor       = 0.995
+	onDemandThroughputFactor = 0.99
+)
+
+// BusyFrequency returns the effective frequency the CPU runs at while
+// executing work under this governor.
+func (g Governor) BusyFrequency(cfg ServerConfig) (float64, error) {
+	freqs := cfg.Frequencies()
+	lo, hi := freqs[0], freqs[len(freqs)-1]
+	switch g.Kind {
+	case GovernorPerformance:
+		return hi, nil
+	case GovernorOnDemand:
+		return hi * onDemandFreqFactor, nil
+	case GovernorPowerSave:
+		return lo, nil
+	case GovernorUserSpace:
+		for _, f := range freqs {
+			if math.Abs(f-g.FixedGHz) < 1e-9 {
+				return f, nil
+			}
+		}
+		return 0, fmt.Errorf("power: %v GHz is not a P-state of %s (have %v)", g.FixedGHz, cfg.Name, freqs)
+	default:
+		return 0, fmt.Errorf("power: unknown governor kind %d", g.Kind)
+	}
+}
+
+// ThroughputFactor returns the fraction of ideal throughput retained
+// under this governor (ondemand pays a small ramp-lag penalty).
+func (g Governor) ThroughputFactor() float64 {
+	if g.Kind == GovernorOnDemand {
+		return onDemandThroughputFactor
+	}
+	return 1
+}

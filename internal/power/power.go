@@ -1,0 +1,377 @@
+// Package power provides component-level parametric server power and
+// performance models: CPUs with DVFS (voltage/frequency scaling and
+// C-state idle), DRAM DIMMs, disks, fans, and PSU conversion losses.
+// It substitutes for the four physical rack servers of the paper's
+// Table II: the benchmark harness in internal/bench drives these models
+// through the SPECpower methodology to reproduce the memory-per-core
+// and frequency-scaling experiments (Fig. 18-21).
+//
+// The model captures the effects the paper measures:
+//
+//   - CPU dynamic power scales with f·V², static power with V, so lower
+//     DVFS frequencies cut power sublinearly while throughput falls
+//     linearly — energy efficiency degrades at low frequency (§V.B).
+//   - The ssj-style workload needs a certain amount of memory per core
+//     to reach full throughput; beyond that demand, extra DIMMs add
+//     power without performance, so efficiency peaks at a best
+//     memory-per-core point and falls off past it (§V.A).
+//   - The ondemand governor runs bursts near top frequency and pays only
+//     a small ramp-lag penalty, so its efficiency tracks the highest
+//     fixed frequency (§V.B).
+package power
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/microarch"
+)
+
+// MemoryType distinguishes DRAM generations, which differ in power per
+// gigabyte.
+type MemoryType int
+
+// Memory generations used by the Table II servers.
+const (
+	DDR3 MemoryType = iota + 1
+	DDR4
+)
+
+// String returns "DDR3" or "DDR4".
+func (m MemoryType) String() string {
+	switch m {
+	case DDR3:
+		return "DDR3"
+	case DDR4:
+		return "DDR4"
+	default:
+		return "Unknown"
+	}
+}
+
+// CPUSpec describes one processor model and its DVFS envelope.
+type CPUSpec struct {
+	Model    string
+	Codename microarch.Codename
+	Cores    int
+	// NominalGHz is the top non-turbo frequency; MinGHz the lowest
+	// P-state.
+	NominalGHz float64
+	MinGHz     float64
+	// StepGHz is the P-state granularity used when PStateList is empty.
+	StepGHz float64
+	// PStateList, when non-empty, enumerates the exact available
+	// frequencies (ascending) instead of the MinGHz/StepGHz grid.
+	PStateList []float64
+	// TDPWatts is the thermal design power at nominal frequency.
+	TDPWatts float64
+	// IPCFactor scales throughput per core per GHz relative to a
+	// Sandy-Bridge-class core (1.0).
+	IPCFactor float64
+	// MemDemandGBPerCore is the memory per core the ssj-style workload
+	// needs to reach full throughput on this part (heap working set).
+	MemDemandGBPerCore float64
+	// VMinVolts/VNomVolts bound the voltage/frequency curve.
+	VMinVolts, VNomVolts float64
+}
+
+// Validate checks the spec for physical plausibility.
+func (c CPUSpec) Validate() error {
+	switch {
+	case c.Cores < 1:
+		return fmt.Errorf("power: cpu %q: cores %d", c.Model, c.Cores)
+	case c.NominalGHz <= 0 || c.MinGHz <= 0 || c.MinGHz > c.NominalGHz:
+		return fmt.Errorf("power: cpu %q: frequency envelope [%v, %v]", c.Model, c.MinGHz, c.NominalGHz)
+	case c.StepGHz <= 0:
+		return fmt.Errorf("power: cpu %q: step %v", c.Model, c.StepGHz)
+	case c.TDPWatts <= 0:
+		return fmt.Errorf("power: cpu %q: TDP %v", c.Model, c.TDPWatts)
+	case c.IPCFactor <= 0:
+		return fmt.Errorf("power: cpu %q: IPC factor %v", c.Model, c.IPCFactor)
+	case c.MemDemandGBPerCore <= 0:
+		return fmt.Errorf("power: cpu %q: memory demand %v", c.Model, c.MemDemandGBPerCore)
+	case c.VMinVolts <= 0 || c.VNomVolts < c.VMinVolts:
+		return fmt.Errorf("power: cpu %q: voltage envelope [%v, %v]", c.Model, c.VMinVolts, c.VNomVolts)
+	}
+	return nil
+}
+
+// PStates returns the available frequencies from MinGHz to NominalGHz
+// in StepGHz increments, ascending. The nominal frequency is always
+// included.
+func (c CPUSpec) PStates() []float64 {
+	if len(c.PStateList) > 0 {
+		return append([]float64(nil), c.PStateList...)
+	}
+	var out []float64
+	for f := c.MinGHz; f < c.NominalGHz-1e-9; f += c.StepGHz {
+		out = append(out, round2(f))
+	}
+	out = append(out, round2(c.NominalGHz))
+	return out
+}
+
+func round2(f float64) float64 { return math.Round(f*100) / 100 }
+
+// voltageAt interpolates the V/f curve.
+func (c CPUSpec) voltageAt(freqGHz float64) float64 {
+	if c.NominalGHz == c.MinGHz {
+		return c.VNomVolts
+	}
+	t := (freqGHz - c.MinGHz) / (c.NominalGHz - c.MinGHz)
+	t = math.Max(0, math.Min(1, t))
+	return c.VMinVolts + t*(c.VNomVolts-c.VMinVolts)
+}
+
+// Share of TDP that is switching (dynamic) power at nominal f/V; the
+// rest is leakage, which scales with voltage only.
+const (
+	dynamicTDPShare = 0.70
+	// cStateResidual is the fraction of leakage power still drawn when a
+	// core idles in a package C-state.
+	cStateResidual = 0.25
+)
+
+// Power returns the package power at the given busy fraction (0..1) and
+// frequency. Busy cores draw dynamic power ∝ f·V² plus leakage ∝ V;
+// idle cores keep a C-state residual of the leakage.
+func (c CPUSpec) Power(busy, freqGHz float64) float64 {
+	busy = math.Max(0, math.Min(1, busy))
+	v := c.voltageAt(freqGHz) / c.VNomVolts
+	f := freqGHz / c.NominalGHz
+	dynamic := dynamicTDPShare * c.TDPWatts * f * v * v * busy
+	leakActive := (1 - dynamicTDPShare) * c.TDPWatts * v * busy
+	leakIdle := (1 - dynamicTDPShare) * c.TDPWatts * v * cStateResidual * (1 - busy)
+	return dynamic + leakActive + leakIdle
+}
+
+// DIMMSpec describes one memory module.
+type DIMMSpec struct {
+	SizeGB int
+	Type   MemoryType
+}
+
+// Power returns the module's draw at the given memory activity (0..1).
+// Per-DIMM power grows sublinearly with capacity (higher-density chips
+// are more efficient per gigabyte); DDR4 draws about 25% less than DDR3.
+func (d DIMMSpec) Power(activity float64) float64 {
+	activity = math.Max(0, math.Min(1, activity))
+	static := 1.0 + 0.45*math.Sqrt(float64(d.SizeGB))
+	dynamic := (0.6 + 0.30*math.Sqrt(float64(d.SizeGB))) * activity
+	w := static + dynamic
+	if d.Type == DDR4 {
+		w *= 0.75
+	}
+	return w
+}
+
+// DiskSpec describes one storage device.
+type DiskSpec struct {
+	Name string
+	// IdleWatts/ActiveWatts bound the draw; SPECpower barely touches
+	// storage so the active share stays small.
+	IdleWatts, ActiveWatts float64
+}
+
+// Power returns the disk draw at the given load.
+func (d DiskSpec) Power(u float64) float64 {
+	u = math.Max(0, math.Min(1, u))
+	// SPECpower exercises storage only for logging: cap activity at 20%.
+	return d.IdleWatts + (d.ActiveWatts-d.IdleWatts)*0.2*u
+}
+
+// PSUSpec models power-supply conversion efficiency as a piecewise
+// linear curve over the load fraction of its rated capacity.
+type PSUSpec struct {
+	RatedWatts float64
+	// Curve maps load fraction to efficiency; must be sorted by load.
+	Curve []PSUPoint
+}
+
+// PSUPoint is one (load fraction, efficiency) knot.
+type PSUPoint struct {
+	Load, Efficiency float64
+}
+
+// DefaultPSU returns an 80 PLUS Gold-class supply of the given rating.
+func DefaultPSU(ratedWatts float64) PSUSpec {
+	return PSUSpec{
+		RatedWatts: ratedWatts,
+		Curve: []PSUPoint{
+			{0.00, 0.60},
+			{0.05, 0.78},
+			{0.10, 0.86},
+			{0.20, 0.90},
+			{0.50, 0.92},
+			{0.80, 0.91},
+			{1.00, 0.89},
+		},
+	}
+}
+
+// Efficiency returns the conversion efficiency at the given DC load in
+// watts.
+func (p PSUSpec) Efficiency(dcWatts float64) float64 {
+	if len(p.Curve) == 0 || p.RatedWatts <= 0 {
+		return 1
+	}
+	load := dcWatts / p.RatedWatts
+	pts := p.Curve
+	if load <= pts[0].Load {
+		return pts[0].Efficiency
+	}
+	for i := 1; i < len(pts); i++ {
+		if load <= pts[i].Load {
+			t := (load - pts[i-1].Load) / (pts[i].Load - pts[i-1].Load)
+			return pts[i-1].Efficiency + t*(pts[i].Efficiency-pts[i-1].Efficiency)
+		}
+	}
+	return pts[len(pts)-1].Efficiency
+}
+
+// WallPower converts a DC draw to wall (AC) power.
+func (p PSUSpec) WallPower(dcWatts float64) float64 {
+	eff := p.Efficiency(dcWatts)
+	if eff <= 0 {
+		return dcWatts
+	}
+	return dcWatts / eff
+}
+
+// ServerConfig is a complete modeled server.
+type ServerConfig struct {
+	Name   string
+	HWYear int
+	// CPUCount sockets, each populated with CPU.
+	CPUCount int
+	CPU      CPUSpec
+	// DIMMs installed.
+	DIMMs []DIMMSpec
+	Disks []DiskSpec
+	// PlatformIdleWatts covers the board, VRs, BMC and NICs.
+	PlatformIdleWatts float64
+	// FanBaseWatts at idle; fan power rises quadratically to
+	// FanBaseWatts+FanSwingWatts at full load.
+	FanBaseWatts, FanSwingWatts float64
+	PSU                         PSUSpec
+}
+
+// Validate checks the configuration.
+func (s ServerConfig) Validate() error {
+	if s.Name == "" {
+		return errors.New("power: server needs a name")
+	}
+	if s.CPUCount < 1 {
+		return fmt.Errorf("power: server %q: cpu count %d", s.Name, s.CPUCount)
+	}
+	if err := s.CPU.Validate(); err != nil {
+		return err
+	}
+	if len(s.DIMMs) == 0 {
+		return fmt.Errorf("power: server %q: no memory installed", s.Name)
+	}
+	for _, d := range s.DIMMs {
+		if d.SizeGB <= 0 {
+			return fmt.Errorf("power: server %q: DIMM size %d", s.Name, d.SizeGB)
+		}
+	}
+	if s.PlatformIdleWatts < 0 || s.FanBaseWatts < 0 || s.FanSwingWatts < 0 {
+		return fmt.Errorf("power: server %q: negative component power", s.Name)
+	}
+	return nil
+}
+
+// TotalCores returns cores across all sockets.
+func (s ServerConfig) TotalCores() int { return s.CPUCount * s.CPU.Cores }
+
+// MemoryGB returns the installed memory capacity.
+func (s ServerConfig) MemoryGB() float64 {
+	var total int
+	for _, d := range s.DIMMs {
+		total += d.SizeGB
+	}
+	return float64(total)
+}
+
+// MemoryPerCore returns GB per core.
+func (s ServerConfig) MemoryPerCore() float64 {
+	return s.MemoryGB() / float64(s.TotalCores())
+}
+
+// WithMemory returns a copy of the configuration repopulated to
+// totalGB using identical DIMMs of the given size. totalGB must be a
+// positive multiple of dimmSizeGB.
+func (s ServerConfig) WithMemory(totalGB, dimmSizeGB int) (ServerConfig, error) {
+	if dimmSizeGB <= 0 || totalGB <= 0 || totalGB%dimmSizeGB != 0 {
+		return ServerConfig{}, fmt.Errorf("power: cannot build %d GB from %d GB DIMMs", totalGB, dimmSizeGB)
+	}
+	memType := DDR4
+	if len(s.DIMMs) > 0 {
+		memType = s.DIMMs[0].Type
+	}
+	out := s
+	n := totalGB / dimmSizeGB
+	out.DIMMs = make([]DIMMSpec, n)
+	for i := range out.DIMMs {
+		out.DIMMs[i] = DIMMSpec{SizeGB: dimmSizeGB, Type: memType}
+	}
+	return out, nil
+}
+
+// memFactor returns the throughput multiplier for the installed memory:
+// 1.0 at or above the workload's demand, dropping steeply below it
+// (heap pressure, GC overhead, page locality loss).
+func (s ServerConfig) memFactor() float64 {
+	demand := s.CPU.MemDemandGBPerCore
+	mpc := s.MemoryPerCore()
+	if mpc >= demand {
+		return 1
+	}
+	deficit := (demand - mpc) / demand
+	return 1 - 0.55*math.Pow(deficit, 1.3)
+}
+
+// opsPerCoreGHz converts core·GHz into ssj_ops for a Sandy-Bridge-class
+// core; IPCFactor scales it per generation.
+const opsPerCoreGHz = 28000
+
+// MaxThroughput returns the server's achievable ssj_ops at 100% load
+// and the given frequency.
+func (s ServerConfig) MaxThroughput(freqGHz float64) float64 {
+	coreGHz := float64(s.TotalCores()) * freqGHz
+	return coreGHz * opsPerCoreGHz * s.CPU.IPCFactor * s.memFactor()
+}
+
+// DCPower returns the DC-side draw at the given busy fraction and CPU
+// frequency.
+func (s ServerConfig) DCPower(busy, freqGHz float64) float64 {
+	busy = math.Max(0, math.Min(1, busy))
+	var w float64
+	w += float64(s.CPUCount) * s.CPU.Power(busy, freqGHz)
+	// Memory activity tracks CPU load; a floor covers refresh.
+	memActivity := 0.1 + 0.9*busy
+	for _, d := range s.DIMMs {
+		w += d.Power(memActivity)
+	}
+	for _, d := range s.Disks {
+		w += d.Power(busy)
+	}
+	w += s.PlatformIdleWatts
+	w += s.FanBaseWatts + s.FanSwingWatts*busy*busy
+	return w
+}
+
+// WallPower returns the wall (AC) draw at the given busy fraction and
+// frequency.
+func (s ServerConfig) WallPower(busy, freqGHz float64) float64 {
+	return s.PSU.WallPower(s.DCPower(busy, freqGHz))
+}
+
+// Frequencies returns the server's available P-states (ascending).
+func (s ServerConfig) Frequencies() []float64 {
+	f := s.CPU.PStates()
+	sort.Float64s(f)
+	return f
+}

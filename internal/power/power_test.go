@@ -1,0 +1,456 @@
+package power
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCPUSpecValidate(t *testing.T) {
+	base := Server4ThinkServerRD450().CPU
+	if err := base.Validate(); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+	tests := []struct {
+		name   string
+		mutate func(*CPUSpec)
+	}{
+		{"zero cores", func(c *CPUSpec) { c.Cores = 0 }},
+		{"min above nominal", func(c *CPUSpec) { c.MinGHz = 3.0 }},
+		{"zero step", func(c *CPUSpec) { c.StepGHz = 0 }},
+		{"zero tdp", func(c *CPUSpec) { c.TDPWatts = 0 }},
+		{"zero ipc", func(c *CPUSpec) { c.IPCFactor = 0 }},
+		{"zero mem demand", func(c *CPUSpec) { c.MemDemandGBPerCore = 0 }},
+		{"inverted voltage", func(c *CPUSpec) { c.VNomVolts = c.VMinVolts - 0.1 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			c := base
+			tt.mutate(&c)
+			if err := c.Validate(); err == nil {
+				t.Error("expected rejection")
+			}
+		})
+	}
+}
+
+func TestPStatesGrid(t *testing.T) {
+	c := CPUSpec{MinGHz: 1.2, NominalGHz: 1.5, StepGHz: 0.1}
+	got := c.PStates()
+	want := []float64{1.2, 1.3, 1.4, 1.5}
+	if len(got) != len(want) {
+		t.Fatalf("PStates = %v, want %v", got, want)
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-9 {
+			t.Fatalf("PStates = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestPStatesExplicitList(t *testing.T) {
+	c := Server1SugonA620rG().CPU
+	got := c.PStates()
+	want := []float64{1.4, 1.5, 1.7, 1.9, 2.1}
+	if len(got) != len(want) {
+		t.Fatalf("PStates = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("PStates = %v, want %v", got, want)
+		}
+	}
+	// Returned slice must not alias the spec's list.
+	got[0] = 99
+	if c.PStates()[0] == 99 {
+		t.Error("PStates aliases internal list")
+	}
+}
+
+func TestCPUPowerMonotonicInBusyAndFrequency(t *testing.T) {
+	c := Server4ThinkServerRD450().CPU
+	for _, f := range c.PStates() {
+		prev := -1.0
+		for busy := 0.0; busy <= 1.0; busy += 0.1 {
+			p := c.Power(busy, f)
+			if p <= prev {
+				t.Fatalf("power not increasing in busy at f=%v busy=%v", f, busy)
+			}
+			prev = p
+		}
+	}
+	for busy := 0.1; busy <= 1.0; busy += 0.3 {
+		prev := -1.0
+		for _, f := range c.PStates() {
+			p := c.Power(busy, f)
+			if p <= prev {
+				t.Fatalf("power not increasing in frequency at busy=%v f=%v", busy, f)
+			}
+			prev = p
+		}
+	}
+}
+
+func TestCPUPowerBounds(t *testing.T) {
+	c := Server4ThinkServerRD450().CPU
+	full := c.Power(1, c.NominalGHz)
+	if math.Abs(full-c.TDPWatts) > 1e-9 {
+		t.Errorf("full power = %v, want TDP %v", full, c.TDPWatts)
+	}
+	idle := c.Power(0, c.MinGHz)
+	if idle <= 0 || idle > 0.3*c.TDPWatts {
+		t.Errorf("idle power = %v, want small positive fraction of TDP", idle)
+	}
+	// Busy fraction is clamped.
+	if c.Power(2, c.NominalGHz) != full {
+		t.Error("busy > 1 not clamped")
+	}
+}
+
+func TestDVFSCutsPowerSublinearly(t *testing.T) {
+	// Halving frequency must cut dynamic power by more than half (V²
+	// scaling) but total CPU power by less than the frequency ratio
+	// would suggest for throughput: the EE-loss mechanism of §V.B.
+	c := Server4ThinkServerRD450().CPU
+	pHi := c.Power(1, 2.4)
+	pLo := c.Power(1, 1.2)
+	if pLo >= pHi {
+		t.Fatal("lower frequency should draw less power")
+	}
+	// Throughput at 1.2 GHz is half; power should be above half →
+	// ops/watt at low frequency is worse.
+	if pLo <= pHi*0.5 {
+		t.Errorf("power ratio %v too aggressive; EE would improve at low frequency", pLo/pHi)
+	}
+}
+
+func TestDIMMPower(t *testing.T) {
+	d3 := DIMMSpec{SizeGB: 8, Type: DDR3}
+	d4 := DIMMSpec{SizeGB: 8, Type: DDR4}
+	if d4.Power(0.5) >= d3.Power(0.5) {
+		t.Error("DDR4 should draw less than DDR3 at equal size")
+	}
+	small := DIMMSpec{SizeGB: 4, Type: DDR3}
+	big := DIMMSpec{SizeGB: 32, Type: DDR3}
+	if big.Power(0.5) <= small.Power(0.5) {
+		t.Error("bigger DIMM should draw more")
+	}
+	// Sublinear per GB: one 32 GB DIMM beats eight 4 GB DIMMs.
+	if big.Power(0.5) >= 8*small.Power(0.5) {
+		t.Error("per-GB power should be sublinear in DIMM size")
+	}
+	if d3.Power(1) <= d3.Power(0) {
+		t.Error("active DIMM should draw more than idle")
+	}
+}
+
+func TestPSUEfficiencyCurve(t *testing.T) {
+	psu := DefaultPSU(800)
+	// Low load is inefficient; mid load is the sweet spot.
+	if psu.Efficiency(40) >= psu.Efficiency(400) {
+		t.Error("5% load should be less efficient than 50%")
+	}
+	if psu.Efficiency(400) <= psu.Efficiency(800) {
+		t.Error("50% load should beat 100%")
+	}
+	// Wall power exceeds DC power.
+	if psu.WallPower(300) <= 300 {
+		t.Error("wall power must exceed DC power")
+	}
+	// Degenerate PSUs pass power through.
+	if (PSUSpec{}).WallPower(100) != 100 {
+		t.Error("zero-value PSU should be lossless")
+	}
+	// Beyond rated load, efficiency holds at the last knot.
+	if psu.Efficiency(1600) != psu.Curve[len(psu.Curve)-1].Efficiency {
+		t.Error("overload efficiency should clamp to last knot")
+	}
+}
+
+func TestTableIIServersValid(t *testing.T) {
+	servers := TableIIServers()
+	if len(servers) != 4 {
+		t.Fatalf("TableIIServers = %d entries", len(servers))
+	}
+	wantCores := []int{32, 4, 12, 12}
+	wantMem := []float64{64, 32, 160, 192}
+	wantYear := []int{2012, 2013, 2014, 2015}
+	for i, s := range servers {
+		if err := s.Validate(); err != nil {
+			t.Errorf("server %d invalid: %v", i+1, err)
+		}
+		if got := s.TotalCores(); got != wantCores[i] {
+			t.Errorf("server %d cores = %d, want %d", i+1, got, wantCores[i])
+		}
+		if got := s.MemoryGB(); got != wantMem[i] {
+			t.Errorf("server %d memory = %v, want %v", i+1, got, wantMem[i])
+		}
+		if s.HWYear != wantYear[i] {
+			t.Errorf("server %d year = %d, want %d", i+1, s.HWYear, wantYear[i])
+		}
+	}
+}
+
+func TestServerConfigValidateRejections(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*ServerConfig)
+	}{
+		{"no name", func(s *ServerConfig) { s.Name = "" }},
+		{"zero cpus", func(s *ServerConfig) { s.CPUCount = 0 }},
+		{"no memory", func(s *ServerConfig) { s.DIMMs = nil }},
+		{"bad dimm", func(s *ServerConfig) { s.DIMMs[0].SizeGB = 0 }},
+		{"negative platform", func(s *ServerConfig) { s.PlatformIdleWatts = -1 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			s := Server4ThinkServerRD450()
+			tt.mutate(&s)
+			if err := s.Validate(); err == nil {
+				t.Error("expected rejection")
+			}
+		})
+	}
+}
+
+func TestWithMemory(t *testing.T) {
+	s := Server4ThinkServerRD450()
+	small, err := s.WithMemory(32, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.MemoryGB() != 32 || len(small.DIMMs) != 2 {
+		t.Errorf("WithMemory(32,16): %v GB in %d DIMMs", small.MemoryGB(), len(small.DIMMs))
+	}
+	if small.DIMMs[0].Type != DDR4 {
+		t.Error("memory type not preserved")
+	}
+	if s.MemoryGB() != 192 {
+		t.Error("WithMemory mutated the original")
+	}
+	if _, err := s.WithMemory(30, 16); err == nil {
+		t.Error("non-multiple accepted")
+	}
+	if _, err := s.WithMemory(0, 16); err == nil {
+		t.Error("zero total accepted")
+	}
+}
+
+func TestMemFactorShape(t *testing.T) {
+	s := Server4ThinkServerRD450() // demand 2.67 GB/core, 12 cores
+	at := func(totalGB int) float64 {
+		cfg, err := s.WithMemory(totalGB, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cfg.MaxThroughput(2.4)
+	}
+	// Above demand: flat.
+	if math.Abs(at(96)-at(192)) > 1e-9 {
+		t.Error("throughput should be flat above memory demand")
+	}
+	if math.Abs(at(32)-at(96)) > 1e-9 {
+		t.Error("32 GB meets the 2.67 GB/core demand; throughput should match")
+	}
+	// Below demand: reduced.
+	if at(16) >= at(32) {
+		t.Error("starved memory should reduce throughput")
+	}
+}
+
+func TestEEPeaksAtBestMPCServer4(t *testing.T) {
+	// The §V.A headline on server #4: best EE at 2.67 GB/core (32 GB);
+	// 96 GB (8 GB/core) and 192 GB (16 GB/core) are worse, as is 16 GB.
+	s := Server4ThinkServerRD450()
+	ee := func(totalGB int) float64 {
+		cfg, err := s.WithMemory(totalGB, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cfg.MaxThroughput(2.4) / cfg.WallPower(1, 2.4)
+	}
+	best := ee(32)
+	for _, gb := range []int{16, 96, 192} {
+		if ee(gb) >= best {
+			t.Errorf("EE(%d GB) = %v should be below EE(32 GB) = %v", gb, ee(gb), best)
+		}
+	}
+	// The decline past the best point is monotone.
+	if !(ee(96) > ee(192)) {
+		t.Error("EE should keep falling as memory grows past the best point")
+	}
+	// Rough magnitude check against the paper: −4.6% at 8 GB/core,
+	// −11.1% at 16 GB/core; accept generous bands.
+	drop96 := (best - ee(96)) / best
+	drop192 := (best - ee(192)) / best
+	if drop96 < 0.02 || drop96 > 0.12 {
+		t.Errorf("EE drop at 96 GB = %.1f%%, want roughly 5%%", 100*drop96)
+	}
+	if drop192 < 0.06 || drop192 > 0.20 {
+		t.Errorf("EE drop at 192 GB = %.1f%%, want roughly 11%%", 100*drop192)
+	}
+}
+
+func TestEELowerAtLowerFrequency(t *testing.T) {
+	// §V.B: EE falls monotonically with CPU frequency on all servers.
+	for _, s := range TableIIServers() {
+		prev := -1.0
+		for _, f := range s.Frequencies() {
+			ee := s.MaxThroughput(f) / s.WallPower(1, f)
+			if ee <= prev {
+				t.Errorf("%s: EE not increasing with frequency at %v GHz", s.Name, f)
+			}
+			prev = ee
+		}
+	}
+}
+
+func TestPowerIncreasesWithFrequencyAndMemory(t *testing.T) {
+	// Fig. 21: peak power rises with both frequency and installed
+	// memory.
+	s := Server4ThinkServerRD450()
+	p24 := s.WallPower(1, 2.4)
+	p12 := s.WallPower(1, 1.2)
+	if p12 >= p24 {
+		t.Error("peak power should rise with frequency")
+	}
+	small, err := s.WithMemory(32, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.WallPower(1, 2.4) >= p24 {
+		t.Error("peak power should rise with installed memory")
+	}
+}
+
+func TestGovernors(t *testing.T) {
+	s := Server4ThinkServerRD450()
+	perf, err := Performance().BusyFrequency(s)
+	if err != nil || perf != 2.4 {
+		t.Errorf("performance = %v, %v", perf, err)
+	}
+	save, err := PowerSave().BusyFrequency(s)
+	if err != nil || save != 1.2 {
+		t.Errorf("powersave = %v, %v", save, err)
+	}
+	od, err := OnDemand().BusyFrequency(s)
+	if err != nil || od >= perf || od < perf*0.98 {
+		t.Errorf("ondemand = %v, %v; want just below %v", od, err, perf)
+	}
+	us, err := UserSpace(1.8).BusyFrequency(s)
+	if err != nil || us != 1.8 {
+		t.Errorf("userspace = %v, %v", us, err)
+	}
+	if _, err := UserSpace(3.7).BusyFrequency(s); err == nil {
+		t.Error("frequency outside P-states accepted")
+	}
+	if Performance().ThroughputFactor() != 1 || OnDemand().ThroughputFactor() >= 1 {
+		t.Error("throughput factors wrong")
+	}
+	if Performance().Name() != "performance" || OnDemand().Name() != "ondemand" ||
+		PowerSave().Name() != "powersave" || UserSpace(1.8).Name() != "1.8GHz" {
+		t.Error("governor names wrong")
+	}
+	if (Governor{Kind: 99}).Name() != "unknown" {
+		t.Error("unknown governor name")
+	}
+	if _, err := (Governor{Kind: 99}).BusyFrequency(s); err == nil {
+		t.Error("unknown governor accepted")
+	}
+}
+
+func TestOnDemandNearPerformanceEE(t *testing.T) {
+	// §V.B: ondemand's EE is very close to the top frequency's.
+	for _, s := range TableIIServers() {
+		fPerf, err := Performance().BusyFrequency(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fOD, err := OnDemand().BusyFrequency(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eePerf := s.MaxThroughput(fPerf) / s.WallPower(1, fPerf)
+		eeOD := OnDemand().ThroughputFactor() * s.MaxThroughput(fOD) / s.WallPower(1, fOD)
+		ratio := eeOD / eePerf
+		if ratio < 0.97 || ratio > 1.005 {
+			t.Errorf("%s: ondemand/performance EE ratio = %v, want ≈1 from below", s.Name, ratio)
+		}
+	}
+}
+
+func TestMemoryTypeString(t *testing.T) {
+	if DDR3.String() != "DDR3" || DDR4.String() != "DDR4" || MemoryType(9).String() != "Unknown" {
+		t.Error("MemoryType.String mismatch")
+	}
+}
+
+func TestPowerBreakdownConsistent(t *testing.T) {
+	// The component attribution must reproduce the aggregate model
+	// exactly at every operating point.
+	for _, srv := range TableIIServers() {
+		for _, busy := range []float64{0, 0.3, 0.7, 1.0} {
+			for _, f := range []float64{srv.CPU.MinGHz, srv.CPU.NominalGHz} {
+				b := srv.PowerBreakdown(busy, f)
+				var sum float64
+				for _, c := range AllComponents() {
+					sum += b.Watts[c]
+				}
+				if math.Abs(sum-b.TotalWatts) > 1e-9 {
+					t.Fatalf("%s: components sum to %v, total %v", srv.Name, sum, b.TotalWatts)
+				}
+				if math.Abs(b.TotalWatts-srv.WallPower(busy, f)) > 1e-9 {
+					t.Fatalf("%s: breakdown total %v != WallPower %v", srv.Name, b.TotalWatts, srv.WallPower(busy, f))
+				}
+			}
+		}
+	}
+}
+
+func TestPowerBreakdownShapes(t *testing.T) {
+	srv := Server4ThinkServerRD450()
+	idle := srv.PowerBreakdown(0, 2.4)
+	full := srv.PowerBreakdown(1, 2.4)
+	// CPU dominates the swing between idle and full load.
+	cpuSwing := full.Watts[ComponentCPU] - idle.Watts[ComponentCPU]
+	memSwing := full.Watts[ComponentMemory] - idle.Watts[ComponentMemory]
+	if cpuSwing <= memSwing {
+		t.Errorf("CPU swing %v should dominate memory swing %v", cpuSwing, memSwing)
+	}
+	// Platform power is constant — it is what caps proportionality.
+	if idle.Watts[ComponentPlatform] != full.Watts[ComponentPlatform] {
+		t.Error("platform power should not vary with load")
+	}
+	// PSU loss is positive everywhere.
+	if idle.Watts[ComponentPSULoss] <= 0 || full.Watts[ComponentPSULoss] <= 0 {
+		t.Error("PSU loss missing")
+	}
+	// Shares sum to 1.
+	var shares float64
+	for _, c := range AllComponents() {
+		shares += full.Share(c)
+	}
+	if math.Abs(shares-1) > 1e-9 {
+		t.Errorf("shares sum to %v", shares)
+	}
+	// More DIMMs → bigger memory share (the §V.A mechanism).
+	big := srv
+	small, err := srv.WithMemory(32, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.PowerBreakdown(1, 2.4).Share(ComponentMemory) <= small.PowerBreakdown(1, 2.4).Share(ComponentMemory) {
+		t.Error("192 GB should spend a larger share on memory than 32 GB")
+	}
+}
+
+func TestComponentStrings(t *testing.T) {
+	if ComponentCPU.String() != "CPU" || ComponentPSULoss.String() != "PSU loss" {
+		t.Error("component names")
+	}
+	if Component(99).String() != "Unknown" {
+		t.Error("unknown component name")
+	}
+	if len(AllComponents()) != 6 {
+		t.Error("want 6 components")
+	}
+}

@@ -1,0 +1,155 @@
+package power
+
+import "repro/internal/microarch"
+
+// The four 2U rack servers of the paper's Table II, modeled with their
+// disclosed CPU, memory, and disk configurations. Memory demand per
+// core is the workload-model parameter calibrated so each server's best
+// memory-per-core point matches the paper's measurement (§V.A: 1.75 GB
+// for #1, 4 GB for #2, 2.67 GB for #4).
+
+// Server1SugonA620rG returns server #1: Sugon A620r-G (2012),
+// 2 × AMD Opteron 6272, 64 GB DDR3, 4 × SAS in RAID 10.
+func Server1SugonA620rG() ServerConfig {
+	return ServerConfig{
+		Name:     "Sugon A620r-G",
+		HWYear:   2012,
+		CPUCount: 2,
+		CPU: CPUSpec{
+			Model:              "AMD Opteron 6272",
+			Codename:           microarch.Interlagos,
+			Cores:              16,
+			NominalGHz:         2.1,
+			MinGHz:             1.4,
+			StepGHz:            0.1,
+			PStateList:         []float64{1.4, 1.5, 1.7, 1.9, 2.1},
+			TDPWatts:           115,
+			IPCFactor:          0.55,
+			MemDemandGBPerCore: 1.75,
+			VMinVolts:          1.05,
+			VNomVolts:          1.25,
+		},
+		DIMMs: dimms(8, 8, DDR3),
+		Disks: []DiskSpec{
+			sasDisk(), sasDisk(), sasDisk(), sasDisk(),
+		},
+		PlatformIdleWatts: 48,
+		FanBaseWatts:      14,
+		FanSwingWatts:     22,
+		PSU:               DefaultPSU(800),
+	}
+}
+
+// Server2SugonI620G10 returns server #2: Sugon I620-G10 (2013),
+// 1 × Intel Xeon E5-2603, 32 GB DDR3, 1 × SAS.
+func Server2SugonI620G10() ServerConfig {
+	return ServerConfig{
+		Name:     "Sugon I620-G10",
+		HWYear:   2013,
+		CPUCount: 1,
+		CPU: CPUSpec{
+			Model:              "Intel Xeon E5-2603",
+			Codename:           microarch.SandyBridgeEP,
+			Cores:              4,
+			NominalGHz:         1.8,
+			MinGHz:             1.2,
+			StepGHz:            0.1,
+			PStateList:         []float64{1.2, 1.3, 1.4, 1.6, 1.7, 1.8},
+			TDPWatts:           80,
+			IPCFactor:          1.0,
+			MemDemandGBPerCore: 4,
+			VMinVolts:          0.95,
+			VNomVolts:          1.05,
+		},
+		DIMMs:             dimms(8, 4, DDR3),
+		Disks:             []DiskSpec{sasDisk()},
+		PlatformIdleWatts: 34,
+		FanBaseWatts:      10,
+		FanSwingWatts:     14,
+		PSU:               DefaultPSU(550),
+	}
+}
+
+// Server3ThinkServerRD640 returns server #3: Lenovo ThinkServer RD640
+// (2014), 2 × Intel Xeon E5-2620 v2, 160 GB DDR4, 1 × SSD.
+func Server3ThinkServerRD640() ServerConfig {
+	return ServerConfig{
+		Name:     "ThinkServer RD640",
+		HWYear:   2014,
+		CPUCount: 2,
+		CPU: CPUSpec{
+			Model:              "Intel Xeon E5-2620 v2",
+			Codename:           microarch.IvyBridgeEP,
+			Cores:              6,
+			NominalGHz:         2.1,
+			MinGHz:             1.2,
+			StepGHz:            0.1,
+			TDPWatts:           80,
+			IPCFactor:          1.08,
+			MemDemandGBPerCore: 2.67,
+			VMinVolts:          0.90,
+			VNomVolts:          1.00,
+		},
+		DIMMs:             dimms(10, 16, DDR4),
+		Disks:             []DiskSpec{ssd()},
+		PlatformIdleWatts: 40,
+		FanBaseWatts:      12,
+		FanSwingWatts:     18,
+		PSU:               DefaultPSU(750),
+	}
+}
+
+// Server4ThinkServerRD450 returns server #4: Lenovo ThinkServer RD450
+// (2015), 2 × Intel Xeon E5-2620 v3, 192 GB DDR4, 1 × SSD.
+func Server4ThinkServerRD450() ServerConfig {
+	return ServerConfig{
+		Name:     "ThinkServer RD450",
+		HWYear:   2015,
+		CPUCount: 2,
+		CPU: CPUSpec{
+			Model:              "Intel Xeon E5-2620 v3",
+			Codename:           microarch.Haswell,
+			Cores:              6,
+			NominalGHz:         2.4,
+			MinGHz:             1.2,
+			StepGHz:            0.1,
+			TDPWatts:           85,
+			IPCFactor:          1.15,
+			MemDemandGBPerCore: 8.0 / 3.0, // 2.67 GB/core, 32 GB total
+			VMinVolts:          0.88,
+			VNomVolts:          0.98,
+		},
+		DIMMs:             dimms(12, 16, DDR4),
+		Disks:             []DiskSpec{ssd()},
+		PlatformIdleWatts: 38,
+		FanBaseWatts:      12,
+		FanSwingWatts:     18,
+		PSU:               DefaultPSU(750),
+	}
+}
+
+// TableIIServers returns the paper's four tested servers in order.
+func TableIIServers() []ServerConfig {
+	return []ServerConfig{
+		Server1SugonA620rG(),
+		Server2SugonI620G10(),
+		Server3ThinkServerRD640(),
+		Server4ThinkServerRD450(),
+	}
+}
+
+func dimms(count, sizeGB int, t MemoryType) []DIMMSpec {
+	out := make([]DIMMSpec, count)
+	for i := range out {
+		out[i] = DIMMSpec{SizeGB: sizeGB, Type: t}
+	}
+	return out
+}
+
+func sasDisk() DiskSpec {
+	return DiskSpec{Name: "SAS 300GB 10K", IdleWatts: 8, ActiveWatts: 12}
+}
+
+func ssd() DiskSpec {
+	return DiskSpec{Name: "SSD 480GB", IdleWatts: 1.5, ActiveWatts: 4}
+}

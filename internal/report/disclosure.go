@@ -1,0 +1,63 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+	"text/tabwriter"
+
+	"repro/internal/dataset"
+)
+
+// Disclosure renders one result in the style of a published
+// SPECpower_ssj2008 disclosure: the configuration header followed by
+// the per-level performance/power table and the overall score, with the
+// derived proportionality metrics appended.
+func Disclosure(r *dataset.Result) (string, error) {
+	c, err := r.Curve()
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "SPECpower_ssj2008 disclosure — %s\n", r.ID)
+	tw := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "Hardware vendor\t%s\n", r.Vendor)
+	fmt.Fprintf(tw, "System\t%s (%s)\n", r.System, r.FormFactor)
+	fmt.Fprintf(tw, "Nodes / chips / cores\t%d / %d / %d\n", r.Nodes, r.Chips, r.TotalCores())
+	fmt.Fprintf(tw, "CPU\t%s @ %.1f GHz (%s)\n", r.CPUModel, r.NominalGHz, r.Codename)
+	fmt.Fprintf(tw, "Memory\t%.0f GB (%.2f GB/core)\n", r.MemoryGB, r.MemoryPerCore())
+	fmt.Fprintf(tw, "JVM / OS\t%s / %s\n", r.JVM, r.OS)
+	fmt.Fprintf(tw, "Hardware available\t%d Q%d\n", r.HWAvailYear, r.HWAvailQuarter)
+	fmt.Fprintf(tw, "Result published\t%d Q%d\n", r.PublishedYear, r.PublishedQuarter)
+	tw.Flush()
+	b.WriteString("\n")
+
+	tw = tabwriter.NewWriter(&b, 2, 4, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintln(tw, "target load\tactual load\tssj_ops\tavg power (W)\tperf/power\t")
+	for i := len(r.Levels) - 1; i >= 0; i-- {
+		lv := r.Levels[i]
+		ee := 0.0
+		if lv.AvgPowerWatts > 0 {
+			ee = lv.OpsPerSec / lv.AvgPowerWatts
+		}
+		fmt.Fprintf(tw, "%.0f%%\t%.1f%%\t%.0f\t%.1f\t%.1f\t\n",
+			100*lv.TargetLoad, 100*lv.ActualLoad, lv.OpsPerSec, lv.AvgPowerWatts, ee)
+	}
+	fmt.Fprintf(tw, "active idle\t\t0\t%.1f\t\t\n", r.ActiveIdleWatts)
+	tw.Flush()
+
+	peak, spots := c.PeakEE()
+	fmt.Fprintf(&b, "\noverall ssj_ops/watt: %.0f\n", c.OverallEE())
+	fmt.Fprintf(&b, "derived: EP %.3f (Eq.1)  idle %.1f%% of full-load power  dynamic range %.1f%%\n",
+		c.EP(), 100*c.IdleFraction(), 100*c.DynamicRange())
+	spotStrs := make([]string, len(spots))
+	for i, s := range spots {
+		spotStrs[i] = fmt.Sprintf("%.0f%%", 100*s)
+	}
+	fmt.Fprintf(&b, "peak efficiency %.1f ops/W at %s load\n", peak, strings.Join(spotStrs, " and "))
+	if compliant := dataset.IsCompliant(r); compliant {
+		b.WriteString("compliance: PASS\n")
+	} else {
+		fmt.Fprintf(&b, "compliance: FAIL (%v)\n", dataset.Validate(r))
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,257 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/bench"
+	"repro/internal/dataset"
+	"repro/internal/placement"
+	"repro/internal/power"
+)
+
+// Options selects what the full report includes.
+type Options struct {
+	// Sweeps runs the hardware-experiment simulations (Fig. 18-21),
+	// which take a few seconds at full interval length. SweepSeconds
+	// shortens the simulated measurement intervals (0 = benchmark
+	// default of 240 s per interval).
+	Sweeps       bool
+	SweepSeconds int
+	// Seed drives the sweep simulations.
+	Seed int64
+}
+
+// Full regenerates the paper's complete evaluation section: every
+// figure and table plus the headline statistics, in paper order.
+func Full(rp *dataset.Repository, opts Options) (string, error) {
+	var b strings.Builder
+	section := func(s string) {
+		b.WriteString(s)
+		b.WriteString("\n")
+	}
+
+	// Fig. 1 uses the paper's sample server: the 2016 result with
+	// overall score ≈ 12212 (EP 1.02); fall back to the highest-EP 2016
+	// server on foreign datasets.
+	sample := findSample(rp)
+	if sample != nil {
+		fig1, err := Fig1EPCurve(sample)
+		if err != nil {
+			return "", err
+		}
+		section(fig1)
+	}
+	fig2, err := Fig2Evolution(rp)
+	if err != nil {
+		return "", err
+	}
+	section(fig2)
+	fig3, err := Fig3EPTrend(rp)
+	if err != nil {
+		return "", err
+	}
+	section(fig3)
+	fig4, err := Fig4EETrend(rp)
+	if err != nil {
+		return "", err
+	}
+	section(fig4)
+	fig5, err := Fig5EPCDF(rp)
+	if err != nil {
+		return "", err
+	}
+	section(fig5)
+	section(Fig6Families(rp))
+	section(Fig7Codenames(rp))
+	section(Fig8MarchMix(rp))
+	section(Fig9PencilHead(rp))
+	section(Fig10SelectedEP(rp))
+	section(Fig11Almond(rp))
+	section(Fig12SelectedEE(rp))
+	section(Fig13Nodes(rp))
+	section(Fig14Chips(rp))
+	section(Fig15TwoChip(rp))
+	section(Fig16PeakShift(rp))
+	section(TableIMPC(rp))
+	section(Fig17MPC(rp))
+	section(TableIIServers())
+
+	stats, err := StatsSummary(rp)
+	if err != nil {
+		return "", err
+	}
+	section(stats)
+
+	// Extension figures (not in the paper): the low-utilization
+	// proportionality gap, cluster-wide EP by policy, and the Eq. 1
+	// quadrature ablation.
+	e1, err := FigE1GapTrend(rp)
+	if err != nil {
+		return "", err
+	}
+	section(e1)
+	if fleet := recentFleet(rp, 12); len(fleet) > 1 {
+		e2, err := FigE2ClusterPolicies(fleet)
+		if err != nil {
+			return "", err
+		}
+		section(e2)
+	}
+	e3, err := FigE3QuadratureAblation(rp)
+	if err != nil {
+		return "", err
+	}
+	section(e3)
+	e4, err := FigE4ImprovementRates(rp)
+	if err != nil {
+		return "", err
+	}
+	section(e4)
+	section(FigE5PowerBreakdown())
+	e6, err := FigE6Projection(rp)
+	if err != nil {
+		return "", err
+	}
+	section(e6)
+	e7, err := FigE7KnightShift(rp)
+	if err != nil {
+		return "", err
+	}
+	section(e7)
+
+	if opts.Sweeps {
+		sweeps, err := HardwareExperiments(opts.Seed, opts.SweepSeconds)
+		if err != nil {
+			return "", err
+		}
+		section(sweeps)
+	}
+	return b.String(), nil
+}
+
+// recentFleet profiles up to n recent servers for the cluster
+// extension figure.
+func recentFleet(rp *dataset.Repository, n int) []*placement.Profile {
+	servers := rp.YearRange(2012, 2016).All()
+	if len(servers) > n {
+		servers = servers[:n]
+	}
+	out := make([]*placement.Profile, 0, len(servers))
+	for _, r := range servers {
+		c, err := r.Curve()
+		if err != nil {
+			continue
+		}
+		p, err := placement.NewProfile(r.ID, c)
+		if err != nil {
+			continue
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// findSample locates the Fig. 1 sample server.
+func findSample(rp *dataset.Repository) *dataset.Result {
+	var best *dataset.Result
+	bestGap := 1e18
+	for _, r := range rp.YearRange(2016, 2016).All() {
+		if gap := absF(r.OverallEE() - 12212); gap < bestGap {
+			best, bestGap = r, gap
+		}
+	}
+	return best
+}
+
+func absF(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// HardwareExperiments runs the §V.A/§V.B simulations on the Table II
+// servers and renders Fig. 18-21.
+func HardwareExperiments(seed int64, intervalSeconds int) (string, error) {
+	var b strings.Builder
+	servers := power.TableIIServers()
+	titles := map[string]string{
+		servers[0].Name: "Fig.18 EE vs memory per core × frequency on #1 (Sugon A620r-G)",
+		servers[1].Name: "Fig.19 EE vs memory per core × frequency on #2 (Sugon I620-G10)",
+		servers[3].Name: "Fig.20 EE vs memory per core × frequency on #4 (ThinkServer RD450)",
+	}
+	for _, idx := range []int{0, 1, 3} {
+		srv := servers[idx]
+		pts, err := sweepServer(srv, seed, intervalSeconds)
+		if err != nil {
+			return "", err
+		}
+		b.WriteString(SweepFigure(titles[srv.Name], pts))
+		b.WriteString("\n")
+	}
+	// Fig. 21 reuses server #4's sweep.
+	pts, err := sweepServer(servers[3], seed, intervalSeconds)
+	if err != nil {
+		return "", err
+	}
+	b.WriteString(Fig21PowerAndEE(pts))
+	return b.String(), nil
+}
+
+func sweepServer(srv power.ServerConfig, seed int64, intervalSeconds int) ([]bench.SweepPoint, error) {
+	mems := bench.PaperMemoryConfigs(srv)
+	govs := bench.AllFrequencyGovernors(srv)
+	if intervalSeconds > 0 {
+		return sweepWithInterval(srv, mems, govs, seed, intervalSeconds)
+	}
+	return bench.Sweep(srv, mems, govs, seed)
+}
+
+// sweepWithInterval mirrors bench.Sweep with shortened measurement
+// intervals for fast reporting.
+func sweepWithInterval(srv power.ServerConfig, mems []bench.MemoryConfig, govs []power.Governor, seed int64, seconds int) ([]bench.SweepPoint, error) {
+	out := make([]bench.SweepPoint, 0, len(mems)*len(govs))
+	for mi, mem := range mems {
+		cfg, err := srv.WithMemory(mem.TotalGB, mem.DIMMSizeGB)
+		if err != nil {
+			return nil, err
+		}
+		for gi, gov := range govs {
+			runner, err := bench.NewRunner(bench.Config{
+				Server:          cfg,
+				Governor:        gov,
+				Seed:            seed + int64(mi)*1009 + int64(gi)*9176,
+				IntervalSeconds: seconds,
+			})
+			if err != nil {
+				return nil, err
+			}
+			res, err := runner.Run()
+			if err != nil {
+				return nil, err
+			}
+			peakEE, atLoad := res.PeakEE()
+			out = append(out, bench.SweepPoint{
+				Server:         cfg.Name,
+				MemoryGB:       mem.TotalGB,
+				MemoryPerCore:  float64(mem.TotalGB) / float64(cfg.TotalCores()),
+				Governor:       gov.Name(),
+				BusyFreqGHz:    res.BusyFreqGHz,
+				OverallEE:      res.OverallEE(),
+				PeakEE:         peakEE,
+				PeakEEAtLoad:   atLoad,
+				PeakPowerWatts: res.PeakPowerWatts(),
+			})
+		}
+	}
+	return out, nil
+}
+
+// Summary prints a one-paragraph corpus overview used by the CLIs.
+func Summary(rp *dataset.Repository) string {
+	valid := rp.Valid()
+	return fmt.Sprintf(
+		"corpus: %d submissions, %d valid, %d non-compliant, %d with published ≠ availability year\n",
+		rp.Len(), valid.Len(), rp.NonCompliant().Len(), valid.YearMismatched().Len())
+}

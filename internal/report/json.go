@@ -1,0 +1,111 @@
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/analysis"
+	"repro/internal/dataset"
+)
+
+// JSONSummary is the machine-readable export of every headline analysis
+// — what downstream tooling consumes instead of scraping the text
+// figures.
+type JSONSummary struct {
+	Corpus struct {
+		Total          int `json:"total"`
+		Valid          int `json:"valid"`
+		NonCompliant   int `json:"non_compliant"`
+		YearMismatched int `json:"year_mismatched"`
+	} `json:"corpus"`
+	YearlyTrend   []analysis.YearStats     `json:"yearly_trend"`
+	Families      []analysis.FamilyCount   `json:"families"`
+	Codenames     []analysis.CodenameStats `json:"codenames"`
+	Nodes         []analysis.GroupStats    `json:"by_nodes"`
+	Chips         []analysis.GroupStats    `json:"by_chips_single_node"`
+	MemoryPerCore []analysis.MPCBucket     `json:"memory_per_core"`
+	PeakShift     []peakShiftJSON          `json:"peak_shift"`
+	Correlations  analysis.Correlations    `json:"correlations"`
+	IdleFit       idleFitJSON              `json:"eq2_idle_regression"`
+	Async         analysis.AsyncStats      `json:"top_decile_asymmetry"`
+	ReorgDeltas   []analysis.ReorgDelta    `json:"reorg_deltas"`
+	GapTrend      []analysis.GapRow        `json:"proportionality_gap"`
+	EraRates      []analysis.EraRate       `json:"era_rates"`
+	Projections   []analysis.Projection    `json:"projections"`
+}
+
+type peakShiftJSON struct {
+	Year   int            `json:"year"`
+	Spots  int            `json:"spots"`
+	Counts map[string]int `json:"counts"`
+}
+
+type idleFitJSON struct {
+	A           float64 `json:"a"`
+	B           float64 `json:"b"`
+	R2          float64 `json:"r2"`
+	Correlation float64 `json:"correlation"`
+}
+
+// BuildJSONSummary computes every analysis over the full repository
+// (valid results are selected internally, mirroring the text report).
+func BuildJSONSummary(rp *dataset.Repository) (*JSONSummary, error) {
+	valid := rp.Valid()
+	out := &JSONSummary{}
+	out.Corpus.Total = rp.Len()
+	out.Corpus.Valid = valid.Len()
+	out.Corpus.NonCompliant = rp.NonCompliant().Len()
+	out.Corpus.YearMismatched = valid.YearMismatched().Len()
+
+	var err error
+	if out.YearlyTrend, err = analysis.YearlyTrend(valid); err != nil {
+		return nil, fmt.Errorf("report: json summary: %w", err)
+	}
+	out.Families = analysis.ByFamily(valid)
+	out.Codenames = analysis.ByCodename(valid)
+	out.Nodes = analysis.ByNodes(valid, 3)
+	out.Chips = analysis.ByChips(valid, 3)
+	out.MemoryPerCore = analysis.MemoryPerCore(valid, 10)
+	for _, row := range analysis.PeakShift(valid) {
+		pj := peakShiftJSON{Year: row.Year, Spots: row.Spots, Counts: make(map[string]int, len(row.Counts))}
+		for u, n := range row.Counts {
+			pj.Counts[fmt.Sprintf("%.0f%%", 100*u)] = n
+		}
+		out.PeakShift = append(out.PeakShift, pj)
+	}
+	if out.Correlations, err = analysis.ComputeCorrelations(valid); err != nil {
+		return nil, fmt.Errorf("report: json summary: %w", err)
+	}
+	reg, err := analysis.FitIdleRegression(valid)
+	if err != nil {
+		return nil, fmt.Errorf("report: json summary: %w", err)
+	}
+	out.IdleFit = idleFitJSON{A: reg.Fit.A, B: reg.Fit.B, R2: reg.Fit.R2, Correlation: reg.Correlation}
+	out.Async = analysis.Asynchronization(valid)
+	if out.ReorgDeltas, err = analysis.YearReorgDeltas(valid); err != nil {
+		return nil, fmt.Errorf("report: json summary: %w", err)
+	}
+	if out.GapTrend, err = analysis.ProportionalityGapByYear(valid); err != nil {
+		return nil, fmt.Errorf("report: json summary: %w", err)
+	}
+	if out.EraRates, err = analysis.ImprovementRates(valid, [][2]int{{2007, 2012}, {2012, 2016}, {2013, 2016}}); err != nil {
+		return nil, fmt.Errorf("report: json summary: %w", err)
+	}
+	for _, year := range []int{2018, 2020} {
+		proj, err := analysis.ProjectTrends(valid, year)
+		if err != nil {
+			return nil, fmt.Errorf("report: json summary: %w", err)
+		}
+		out.Projections = append(out.Projections, proj)
+	}
+	return out, nil
+}
+
+// MarshalJSONSummary renders the summary as indented JSON.
+func MarshalJSONSummary(rp *dataset.Repository) ([]byte, error) {
+	s, err := BuildJSONSummary(rp)
+	if err != nil {
+		return nil, err
+	}
+	return json.MarshalIndent(s, "", "  ")
+}

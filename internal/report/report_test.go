@@ -1,0 +1,417 @@
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/dataset"
+	"repro/internal/placement"
+	"repro/internal/power"
+	"repro/internal/synth"
+)
+
+var testCorpus *dataset.Repository
+
+func validCorpus(t *testing.T) *dataset.Repository {
+	t.Helper()
+	if testCorpus == nil {
+		rp, err := synth.NewRepository(synth.Config{Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		testCorpus = rp.Valid()
+	}
+	return testCorpus
+}
+
+func TestFig1SampleServer(t *testing.T) {
+	rp := validCorpus(t)
+	sample := findSample(rp)
+	if sample == nil {
+		t.Fatal("sample server not found")
+	}
+	out, err := Fig1EPCurve(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Fig.1") || !strings.Contains(out, "EP=1.02") {
+		t.Errorf("Fig.1 header wrong:\n%s", out[:200])
+	}
+	if !strings.Contains(out, "score 12212") {
+		t.Errorf("sample score missing:\n%s", out[:200])
+	}
+	bad := &dataset.Result{ID: "broken"}
+	if _, err := Fig1EPCurve(bad); err == nil {
+		t.Error("invalid result accepted")
+	}
+}
+
+func TestTrendFigures(t *testing.T) {
+	rp := validCorpus(t)
+	fig2, err := Fig2Evolution(rp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(fig2, "Fig.2") || !strings.Contains(fig2, "n=477") {
+		t.Error("Fig.2 header wrong")
+	}
+	fig3, err := Fig3EPTrend(rp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Fig.3", "2004", "2016", "median", "average"} {
+		if !strings.Contains(fig3, want) {
+			t.Errorf("Fig.3 missing %q", want)
+		}
+	}
+	fig4, err := Fig4EETrend(rp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(fig4, "peak EE") {
+		t.Error("Fig.4 missing peak EE series")
+	}
+	fig5, err := Fig5EPCDF(rp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(fig5, "EP < 1.0: 99.58%") {
+		t.Errorf("Fig.5 summary wrong:\n%s", fig5)
+	}
+}
+
+func TestGroupingFigures(t *testing.T) {
+	rp := validCorpus(t)
+	fig6 := Fig6Families(rp)
+	for _, want := range []string{"Fig.6", "Sandy Bridge", "Netburst", "mean EP"} {
+		if !strings.Contains(fig6, want) {
+			t.Errorf("Fig.6 missing %q", want)
+		}
+	}
+	fig7 := Fig7Codenames(rp)
+	if !strings.Contains(fig7, "Sandy Bridge EN") || !strings.Contains(fig7, "Penryn") {
+		t.Error("Fig.7 missing codenames")
+	}
+	fig8 := Fig8MarchMix(rp)
+	if !strings.Contains(fig8, "2012") || !strings.Contains(fig8, "legend:") {
+		t.Error("Fig.8 malformed")
+	}
+}
+
+func TestEnvelopeFigures(t *testing.T) {
+	rp := validCorpus(t)
+	fig9 := Fig9PencilHead(rp)
+	if !strings.Contains(fig9, "EP=1.05") || !strings.Contains(fig9, "EP=0.18") {
+		t.Errorf("Fig.9 envelope EPs missing:\n%s", fig9)
+	}
+	fig10 := Fig10SelectedEP(rp)
+	if !strings.Contains(fig10, "2012 EP=1.05") || !strings.Contains(fig10, "intersections") {
+		t.Error("Fig.10 malformed")
+	}
+	// The double-crosser shows two intersection points.
+	foundDouble := false
+	for _, line := range strings.Split(fig10, "\n") {
+		if strings.Contains(line, "2014 EP=0.86") && strings.Count(line, "%") == 3 {
+			foundDouble = true
+		}
+	}
+	if !foundDouble {
+		t.Errorf("Fig.10 double-crossing row missing:\n%s", fig10)
+	}
+	fig11 := Fig11Almond(rp)
+	if !strings.Contains(fig11, "Fig.11") {
+		t.Error("Fig.11 malformed")
+	}
+	fig12 := Fig12SelectedEE(rp)
+	if !strings.Contains(fig12, "peak EE spot") {
+		t.Error("Fig.12 malformed")
+	}
+}
+
+func TestScaleFigures(t *testing.T) {
+	rp := validCorpus(t)
+	fig13 := Fig13Nodes(rp)
+	if !strings.Contains(fig13, "16") {
+		t.Errorf("Fig.13 missing 16-node group:\n%s", fig13)
+	}
+	fig14 := Fig14Chips(rp)
+	if !strings.Contains(fig14, "284") {
+		t.Errorf("Fig.14 missing the 284-server 2-chip group:\n%s", fig14)
+	}
+	fig15 := Fig15TwoChip(rp)
+	if !strings.Contains(fig15, "aggregate advantage") {
+		t.Error("Fig.15 malformed")
+	}
+	fig16 := Fig16PeakShift(rp)
+	if !strings.Contains(fig16, "2013-2016") || !strings.Contains(fig16, "overall") {
+		t.Error("Fig.16 malformed")
+	}
+	fig17 := Fig17MPC(rp)
+	if !strings.Contains(fig17, "EP at 1.50 GB/core") || !strings.Contains(fig17, "EE at 1.78 GB/core") {
+		t.Errorf("Fig.17 best points wrong:\n%s", fig17)
+	}
+}
+
+func TestTables(t *testing.T) {
+	rp := validCorpus(t)
+	t1 := TableIMPC(rp)
+	if !strings.Contains(t1, "Table I") || !strings.Contains(t1, "430 servers") {
+		t.Errorf("Table I malformed:\n%s", t1)
+	}
+	t2 := TableIIServers()
+	for _, want := range []string{"Sugon A620r-G", "AMD Opteron 6272", "ThinkServer RD450", "DDR4"} {
+		if !strings.Contains(t2, want) {
+			t.Errorf("Table II missing %q", want)
+		}
+	}
+}
+
+func TestStatsSummary(t *testing.T) {
+	out, err := StatsSummary(validCorpus(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"corr(EP, overall EE)", "Eq.2", "Top-decile", "Reorganization"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("stats summary missing %q", want)
+		}
+	}
+}
+
+func TestSweepFigures(t *testing.T) {
+	srv := power.Server4ThinkServerRD450()
+	pts, err := bench.Sweep(srv,
+		[]bench.MemoryConfig{{TotalGB: 32, DIMMSizeGB: 16}, {TotalGB: 96, DIMMSizeGB: 16}},
+		[]power.Governor{power.UserSpace(1.2), power.Performance(), power.OnDemand()}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := SweepFigure("Fig.20 test", pts)
+	for _, want := range []string{"Fig.20 test", "ondemand", "1.2GHz", "peak power"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("sweep figure missing %q", want)
+		}
+	}
+	fig21 := Fig21PowerAndEE(pts)
+	if !strings.Contains(fig21, "Fig.21") || !strings.Contains(fig21, "MPC") {
+		t.Error("Fig.21 malformed")
+	}
+}
+
+func TestFullReport(t *testing.T) {
+	out, err := Full(validCorpus(t), Options{Sweeps: true, SweepSeconds: 5, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wanted := []string{
+		"Fig.1", "Fig.2", "Fig.3", "Fig.4", "Fig.5", "Fig.6", "Fig.7",
+		"Fig.8", "Fig.9", "Fig.10", "Fig.11", "Fig.12", "Fig.13",
+		"Fig.14", "Fig.15", "Fig.16", "Fig.17", "Fig.18", "Fig.19",
+		"Fig.20", "Fig.21", "Table I", "Table II", "Eq.2",
+	}
+	for _, want := range wanted {
+		if !strings.Contains(out, want) {
+			t.Errorf("full report missing %q", want)
+		}
+	}
+}
+
+func TestSummaryLine(t *testing.T) {
+	rp, err := synth.NewRepository(synth.Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Summary(rp)
+	if !strings.Contains(s, "517 submissions") || !strings.Contains(s, "477 valid") {
+		t.Errorf("summary = %q", s)
+	}
+}
+
+func TestExtensionFigures(t *testing.T) {
+	rp := validCorpus(t)
+	e1, err := FigE1GapTrend(rp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(e1, "Fig.E1") || !strings.Contains(e1, "low-util") {
+		t.Errorf("E1 malformed:\n%s", e1)
+	}
+	var fleet []*placement.Profile
+	for _, r := range rp.YearRange(2012, 2016).All()[:10] {
+		p, err := placement.NewProfile(r.ID, r.MustCurve())
+		if err != nil {
+			t.Fatal(err)
+		}
+		fleet = append(fleet, p)
+	}
+	e2, err := FigE2ClusterPolicies(fleet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Fig.E2", "spread", "pack+off", "optimal-region"} {
+		if !strings.Contains(e2, want) {
+			t.Errorf("E2 missing %q", want)
+		}
+	}
+	e3, err := FigE3QuadratureAblation(rp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(e3, "Fig.E3") || !strings.Contains(e3, "n=477") {
+		t.Errorf("E3 malformed:\n%s", e3)
+	}
+}
+
+func TestDisclosure(t *testing.T) {
+	rp := validCorpus(t)
+	sample := findSample(rp)
+	out, err := Disclosure(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"SPECpower_ssj2008 disclosure", "Hardware vendor", "active idle",
+		"overall ssj_ops/watt: 12212", "EP 1.020", "compliance: PASS",
+		"peak efficiency",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("disclosure missing %q:\n%s", want, out)
+		}
+	}
+	// A non-compliant result discloses its violation.
+	bad := sample.Clone()
+	bad.Levels[3].ActualLoad = 0.9
+	out, err = Disclosure(bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "compliance: FAIL") {
+		t.Error("non-compliant disclosure should say FAIL")
+	}
+	// Curve-invalid results error.
+	broken := sample.Clone()
+	broken.ActiveIdleWatts = -1
+	if _, err := Disclosure(broken); err == nil {
+		t.Error("invalid curve accepted")
+	}
+}
+
+func TestExtensionFiguresE4E5(t *testing.T) {
+	rp := validCorpus(t)
+	e4, err := FigE4ImprovementRates(rp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(e4, "Fig.E4") || !strings.Contains(e4, "2007-2012") || !strings.Contains(e4, "2012-2016") {
+		t.Errorf("E4 malformed:\n%s", e4)
+	}
+	e5 := FigE5PowerBreakdown()
+	for _, want := range []string{"Fig.E5", "PSU loss", "ThinkServer RD450", "Platform"} {
+		if !strings.Contains(e5, want) {
+			t.Errorf("E5 missing %q", want)
+		}
+	}
+}
+
+func TestFullHTML(t *testing.T) {
+	out, err := FullHTML(validCorpus(t), Options{Sweeps: true, SweepSeconds: 5, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(out, "<!DOCTYPE html>") || !strings.HasSuffix(out, "</html>\n") {
+		t.Fatal("not a complete HTML document")
+	}
+	for _, want := range []string{
+		`<section id="fig1">`, `<section id="fig16">`, `<section id="fig21">`,
+		`<section id="tab1">`, `<section id="e4">`, "<svg", "</svg>",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("HTML missing %q", want)
+		}
+	}
+	// All 21 paper figures present.
+	for i := 1; i <= 21; i++ {
+		id := fmt.Sprintf(`id="fig%d"`, i)
+		if !strings.Contains(out, id) {
+			t.Errorf("HTML missing section %s", id)
+		}
+	}
+	// No scripts; self-contained.
+	if strings.Contains(out, "<script") {
+		t.Error("HTML must not contain scripts")
+	}
+	// SVG charts embedded in quantity.
+	if strings.Count(out, "<svg") < 14 {
+		t.Errorf("only %d SVGs embedded", strings.Count(out, "<svg"))
+	}
+}
+
+func TestFullHTMLNoSweeps(t *testing.T) {
+	out, err := FullHTML(validCorpus(t), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out, `id="fig18"`) {
+		t.Error("sweeps rendered despite being disabled")
+	}
+}
+
+func TestExtensionFigureE6(t *testing.T) {
+	e6, err := FigE6Projection(validCorpus(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Fig.E6", "2020", "2022", "implied idle"} {
+		if !strings.Contains(e6, want) {
+			t.Errorf("E6 missing %q", want)
+		}
+	}
+}
+
+func TestJSONSummary(t *testing.T) {
+	rp, err := synth.NewRepository(synth.Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := MarshalJSONSummary(rp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back map[string]any
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	for _, key := range []string{
+		"corpus", "yearly_trend", "families", "codenames", "by_nodes",
+		"memory_per_core", "peak_shift", "correlations",
+		"eq2_idle_regression", "top_decile_asymmetry", "reorg_deltas",
+		"proportionality_gap", "era_rates",
+	} {
+		if _, ok := back[key]; !ok {
+			t.Errorf("JSON summary missing %q", key)
+		}
+	}
+	corpus := back["corpus"].(map[string]any)
+	if corpus["valid"].(float64) != 477 {
+		t.Errorf("valid = %v", corpus["valid"])
+	}
+	trend := back["yearly_trend"].([]any)
+	if len(trend) != 13 {
+		t.Errorf("trend years = %d", len(trend))
+	}
+}
+
+func TestExtensionFigureE7(t *testing.T) {
+	e7, err := FigE7KnightShift(validCorpus(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Fig.E7", "2009", "2016", "primary off"} {
+		if !strings.Contains(e7, want) {
+			t.Errorf("E7 missing %q:\n%s", want, e7)
+		}
+	}
+}

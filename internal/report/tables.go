@@ -1,0 +1,126 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+	"text/tabwriter"
+
+	"repro/internal/analysis"
+	"repro/internal/dataset"
+	"repro/internal/power"
+)
+
+// TableIMPC renders the memory-per-core histogram (paper Table I).
+func TableIMPC(rp *dataset.Repository) string {
+	buckets := analysis.MemoryPerCore(rp, 10)
+	var b strings.Builder
+	b.WriteString("Table I. Memory per core statistics of published servers\n")
+	tw := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprint(tw, "memory per core (GB/core)")
+	total := 0
+	for _, bk := range buckets {
+		fmt.Fprintf(tw, "\t%.2f", bk.GBPerCore)
+		total += bk.Count
+	}
+	fmt.Fprint(tw, "\ncount")
+	for _, bk := range buckets {
+		fmt.Fprintf(tw, "\t%d", bk.Count)
+	}
+	fmt.Fprintf(tw, "\n")
+	tw.Flush()
+	fmt.Fprintf(&b, "(%d servers in tabulated buckets of %d total)\n", total, rp.Len())
+	return b.String()
+}
+
+// TableIIServers renders the tested-server configurations (paper
+// Table II).
+func TableIIServers() string {
+	var b strings.Builder
+	b.WriteString("Table II. Base configuration of tested 2U servers\n")
+	tw := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "no\tname\thw year\tCPU model\ttotal cores\tTDP (W)\tmemory (GB)\tdisks")
+	for i, s := range power.TableIIServers() {
+		disks := make([]string, len(s.Disks))
+		for j, d := range s.Disks {
+			disks[j] = d.Name
+		}
+		fmt.Fprintf(tw, "#%d\t%s\t%d\t%d× %s\t%d\t%.0f\t%.0f %s\t%s\n",
+			i+1, s.Name, s.HWYear, s.CPUCount, s.CPU.Model, s.TotalCores(),
+			s.CPU.TDPWatts, s.MemoryGB(), s.DIMMs[0].Type, strings.Join(disks, ", "))
+	}
+	tw.Flush()
+	return b.String()
+}
+
+// StatsSummary renders the paper's headline scalar statistics: the
+// metric correlations, the Eq. 2 regression, the §IV.B top-decile
+// asymmetry, and the §I reorganization deltas.
+func StatsSummary(rp *dataset.Repository) (string, error) {
+	var b strings.Builder
+	corr, err := analysis.ComputeCorrelations(rp)
+	if err != nil {
+		return "", err
+	}
+	fmt.Fprintf(&b, "Headline statistics over %d servers\n", corr.N)
+	fmt.Fprintf(&b, "  corr(EP, overall EE)      = %+.3f   (paper: +0.741)\n", corr.EPvsOverallEE)
+	fmt.Fprintf(&b, "  corr(EP, idle power %%)    = %+.3f   (paper: -0.92)\n", corr.EPvsIdleFraction)
+	fmt.Fprintf(&b, "  corr(EP, dynamic range)   = %+.3f\n", corr.EPvsDynamicRange)
+	fmt.Fprintf(&b, "  corr(EP, peak EE offset)  = %+.3f\n", corr.EPvsPeakOffset)
+	fmt.Fprintf(&b, "  corr(EP, peak/full ratio) = %+.3f\n", corr.EPvsPeakOverFull)
+
+	reg, err := analysis.FitIdleRegression(rp)
+	if err != nil {
+		return "", err
+	}
+	fmt.Fprintf(&b, "Eq.2: EP = %.4f · e^(%.3f · idle)   R² = %.3f   (paper: 1.2969, ≈-2.06, 0.892)\n",
+		reg.Fit.A, reg.Fit.B, reg.Fit.R2)
+	fmt.Fprintf(&b, "  theoretical max EP (idle→0): %.3f   EP at 5%% idle: %.3f (paper: 1.297, 1.17)\n",
+		reg.MaxTheoreticalEP, reg.EPAtFivePercentIdle)
+
+	async := analysis.Asynchronization(rp)
+	fmt.Fprintf(&b, "Top-decile asymmetry (n=%d per decile):\n", async.TopN)
+	fmt.Fprintf(&b, "  2012 corpus share %.1f%%; top-EP decile from 2012: %.1f%% (paper: 27.4%%, 91.7%%)\n",
+		100*async.Share2012, 100*async.TopEPFrom2012)
+	fmt.Fprintf(&b, "  top-EE decile from 2012: %.1f%% (paper: 16.7%%); 2015/16 servers in top-EE: %d/%d (paper: all)\n",
+		100*async.TopEEFrom2012, async.Servers20152016InTopEE, async.Servers20152016)
+	fmt.Fprintf(&b, "  top-EP ∩ top-EE: %.1f%% (paper: 14.6%%)\n", 100*async.Overlap)
+
+	deltas, err := analysis.YearReorgDeltas(rp)
+	if err != nil {
+		return "", err
+	}
+	minAvgEP, maxAvgEP := 0.0, 0.0
+	minMedEP, maxMedEP := 0.0, 0.0
+	minAvgEE, maxAvgEE := 0.0, 0.0
+	minMedEE, maxMedEE := 0.0, 0.0
+	for _, d := range deltas {
+		minAvgEP = minF(minAvgEP, d.AvgEPDeltaPct)
+		maxAvgEP = maxF(maxAvgEP, d.AvgEPDeltaPct)
+		minMedEP = minF(minMedEP, d.MedEPDeltaPct)
+		maxMedEP = maxF(maxMedEP, d.MedEPDeltaPct)
+		minAvgEE = minF(minAvgEE, d.AvgEEDeltaPct)
+		maxAvgEE = maxF(maxAvgEE, d.AvgEEDeltaPct)
+		minMedEE = minF(minMedEE, d.MedEEDeltaPct)
+		maxMedEE = maxF(maxMedEE, d.MedEEDeltaPct)
+	}
+	fmt.Fprintf(&b, "Reorganization by hw availability year vs published year (per-year deltas):\n")
+	fmt.Fprintf(&b, "  avg EP %+.1f%%..%+.1f%% (paper: -6.2%%..8.7%%)   median EP %+.1f%%..%+.1f%% (paper: -8.6%%..13.1%%)\n",
+		minAvgEP, maxAvgEP, minMedEP, maxMedEP)
+	fmt.Fprintf(&b, "  avg EE %+.1f%%..%+.1f%% (paper: -2.2%%..16.6%%)  median EE %+.1f%%..%+.1f%% (paper: -5.0%%..20.8%%)\n",
+		minAvgEE, maxAvgEE, minMedEE, maxMedEE)
+	return b.String(), nil
+}
+
+func minF(a, b float64) float64 {
+	if b < a {
+		return b
+	}
+	return a
+}
+
+func maxF(a, b float64) float64 {
+	if b > a {
+		return b
+	}
+	return a
+}

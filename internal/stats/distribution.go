@@ -1,0 +1,144 @@
+package stats
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// ECDF is an empirical cumulative distribution function built from a
+// sample. The zero value is not usable; construct one with NewECDF.
+type ECDF struct {
+	sorted []float64
+}
+
+// NewECDF builds the empirical CDF of xs. The input is copied.
+func NewECDF(xs []float64) (*ECDF, error) {
+	if len(xs) == 0 {
+		return nil, ErrEmptySample
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return &ECDF{sorted: sorted}, nil
+}
+
+// At returns P(X <= x), the fraction of the sample at or below x.
+func (e *ECDF) At(x float64) float64 {
+	// sort.SearchFloat64s returns the first index with sorted[i] >= x;
+	// advance past equal elements to make the CDF right-continuous.
+	i := sort.SearchFloat64s(e.sorted, x)
+	for i < len(e.sorted) && e.sorted[i] == x {
+		i++
+	}
+	return float64(i) / float64(len(e.sorted))
+}
+
+// Between returns P(lo <= X < hi), the sample mass inside [lo, hi).
+func (e *ECDF) Between(lo, hi float64) float64 {
+	if hi < lo {
+		lo, hi = hi, lo
+	}
+	i := sort.SearchFloat64s(e.sorted, lo)
+	j := sort.SearchFloat64s(e.sorted, hi)
+	return float64(j-i) / float64(len(e.sorted))
+}
+
+// N returns the sample size.
+func (e *ECDF) N() int { return len(e.sorted) }
+
+// Points returns the (x, P(X<=x)) step points of the CDF, one per
+// distinct sample value, suitable for plotting.
+func (e *ECDF) Points() (xs, ps []float64) {
+	xs = make([]float64, 0, len(e.sorted))
+	ps = make([]float64, 0, len(e.sorted))
+	n := float64(len(e.sorted))
+	for i := 0; i < len(e.sorted); {
+		j := i + 1
+		for j < len(e.sorted) && e.sorted[j] == e.sorted[i] {
+			j++
+		}
+		xs = append(xs, e.sorted[i])
+		ps = append(ps, float64(j)/n)
+		i = j
+	}
+	return xs, ps
+}
+
+// HistogramBin is one bin of a Histogram, covering [Lo, Hi) except for
+// the final bin which is closed on both ends.
+type HistogramBin struct {
+	Lo, Hi float64
+	Count  int
+	// Share is Count divided by the total sample size.
+	Share float64
+}
+
+// Histogram bins a sample into equal-width intervals.
+type Histogram struct {
+	Bins []HistogramBin
+	N    int
+}
+
+// NewHistogram bins xs into nbins equal-width bins spanning [lo, hi].
+// Values outside [lo, hi] are clamped into the first or last bin so the
+// histogram always accounts for the whole sample.
+func NewHistogram(xs []float64, lo, hi float64, nbins int) (*Histogram, error) {
+	if len(xs) == 0 {
+		return nil, ErrEmptySample
+	}
+	if nbins <= 0 {
+		return nil, fmt.Errorf("stats: invalid bin count %d", nbins)
+	}
+	if hi <= lo {
+		return nil, fmt.Errorf("stats: invalid histogram range [%v, %v]", lo, hi)
+	}
+	h := &Histogram{Bins: make([]HistogramBin, nbins), N: len(xs)}
+	width := (hi - lo) / float64(nbins)
+	for i := range h.Bins {
+		h.Bins[i].Lo = lo + float64(i)*width
+		h.Bins[i].Hi = lo + float64(i+1)*width
+	}
+	h.Bins[nbins-1].Hi = hi
+	for _, x := range xs {
+		i := int((x - lo) / width)
+		if i < 0 {
+			i = 0
+		}
+		if i >= nbins {
+			i = nbins - 1
+		}
+		h.Bins[i].Count++
+	}
+	for i := range h.Bins {
+		h.Bins[i].Share = float64(h.Bins[i].Count) / float64(h.N)
+	}
+	return h, nil
+}
+
+// BootstrapMeanCI estimates a two-sided confidence interval for the mean
+// of xs by nonparametric bootstrap with the given number of resamples and
+// confidence level (e.g. 0.95). The rng drives resampling so results are
+// reproducible under a fixed seed.
+func BootstrapMeanCI(xs []float64, resamples int, level float64, rng *rand.Rand) (lo, hi float64, err error) {
+	if len(xs) == 0 {
+		return 0, 0, ErrEmptySample
+	}
+	if resamples <= 0 {
+		return 0, 0, fmt.Errorf("stats: invalid resample count %d", resamples)
+	}
+	if level <= 0 || level >= 1 {
+		return 0, 0, fmt.Errorf("stats: invalid confidence level %v", level)
+	}
+	means := make([]float64, resamples)
+	for r := 0; r < resamples; r++ {
+		var s float64
+		for i := 0; i < len(xs); i++ {
+			s += xs[rng.Intn(len(xs))]
+		}
+		means[r] = s / float64(len(xs))
+	}
+	alpha := (1 - level) / 2
+	lo, _ = Quantile(means, alpha)
+	hi, _ = Quantile(means, 1-alpha)
+	return lo, hi, nil
+}

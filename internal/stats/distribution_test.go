@@ -1,0 +1,56 @@
+package stats
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestBootstrapMeanCI(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	xs := make([]float64, 500)
+	for i := range xs {
+		xs[i] = 10 + rng.NormFloat64()
+	}
+	lo, hi, err := BootstrapMeanCI(xs, 1000, 0.95, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo >= hi {
+		t.Fatalf("degenerate CI [%v, %v]", lo, hi)
+	}
+	mean := MustMean(xs)
+	if mean < lo || mean > hi {
+		t.Errorf("sample mean %v outside CI [%v, %v]", mean, lo, hi)
+	}
+	if hi-lo > 0.5 {
+		t.Errorf("CI implausibly wide for n=500: [%v, %v]", lo, hi)
+	}
+}
+
+func TestBootstrapMeanCIDeterministic(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	lo1, hi1, err := BootstrapMeanCI(xs, 200, 0.9, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo2, hi2, err := BootstrapMeanCI(xs, 200, 0.9, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo1 != lo2 || hi1 != hi2 {
+		t.Errorf("same seed produced different CIs: [%v,%v] vs [%v,%v]", lo1, hi1, lo2, hi2)
+	}
+}
+
+func TestBootstrapMeanCIErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, _, err := BootstrapMeanCI(nil, 10, 0.95, rng); err != ErrEmptySample {
+		t.Errorf("empty: %v", err)
+	}
+	if _, _, err := BootstrapMeanCI([]float64{1}, 0, 0.95, rng); err == nil {
+		t.Error("resamples=0: expected error")
+	}
+	if _, _, err := BootstrapMeanCI([]float64{1}, 10, 1.5, rng); err == nil {
+		t.Error("level=1.5: expected error")
+	}
+}

@@ -1,0 +1,117 @@
+package stats
+
+import (
+	"errors"
+	"math"
+)
+
+// LinearFit holds an ordinary-least-squares fit of y = Intercept + Slope·x.
+type LinearFit struct {
+	Slope     float64
+	Intercept float64
+	// R2 is the coefficient of determination of the fit on the data it
+	// was computed from.
+	R2 float64
+	// N is the number of observations used.
+	N int
+}
+
+// Predict evaluates the fitted line at x.
+func (f LinearFit) Predict(x float64) float64 {
+	return f.Intercept + f.Slope*x
+}
+
+// LinearRegression fits y = a + b·x by ordinary least squares.
+// It requires at least two pairs and a non-degenerate x sample.
+func LinearRegression(xs, ys []float64) (LinearFit, error) {
+	if len(xs) != len(ys) {
+		return LinearFit{}, ErrLengthMismatch
+	}
+	if len(xs) < 2 {
+		return LinearFit{}, ErrEmptySample
+	}
+	n := float64(len(xs))
+	mx := Sum(xs) / n
+	my := Sum(ys) / n
+	var sxx, sxy float64
+	for i := range xs {
+		dx := xs[i] - mx
+		sxx += dx * dx
+		sxy += dx * (ys[i] - my)
+	}
+	if sxx == 0 {
+		return LinearFit{}, errors.New("stats: degenerate regressor (zero variance)")
+	}
+	slope := sxy / sxx
+	intercept := my - slope*mx
+
+	var ssRes, ssTot float64
+	for i := range xs {
+		r := ys[i] - (intercept + slope*xs[i])
+		ssRes += r * r
+		d := ys[i] - my
+		ssTot += d * d
+	}
+	r2 := 1.0
+	if ssTot > 0 {
+		r2 = 1 - ssRes/ssTot
+	}
+	return LinearFit{Slope: slope, Intercept: intercept, R2: r2, N: len(xs)}, nil
+}
+
+// ExpFit holds a fit of y = A·e^(B·x).
+type ExpFit struct {
+	// A is the multiplicative constant (the value of y at x = 0).
+	A float64
+	// B is the exponential rate.
+	B float64
+	// R2 is the coefficient of determination computed in the original
+	// (untransformed) y space, which is what the paper reports for Eq. 2.
+	R2 float64
+	// N is the number of observations used.
+	N int
+}
+
+// Predict evaluates the fitted exponential at x.
+func (f ExpFit) Predict(x float64) float64 {
+	return f.A * math.Exp(f.B*x)
+}
+
+// ExponentialRegression fits y = A·e^(B·x) by log-linear least squares
+// (OLS on ln y), then reports R² against the raw y values so the quality
+// measure reflects the model's fit in the space the paper analyses.
+// All y values must be strictly positive.
+func ExponentialRegression(xs, ys []float64) (ExpFit, error) {
+	if len(xs) != len(ys) {
+		return ExpFit{}, ErrLengthMismatch
+	}
+	if len(xs) < 2 {
+		return ExpFit{}, ErrEmptySample
+	}
+	logs := make([]float64, len(ys))
+	for i, y := range ys {
+		if y <= 0 {
+			return ExpFit{}, errors.New("stats: exponential regression requires positive y")
+		}
+		logs[i] = math.Log(y)
+	}
+	lin, err := LinearRegression(xs, logs)
+	if err != nil {
+		return ExpFit{}, err
+	}
+	fit := ExpFit{A: math.Exp(lin.Intercept), B: lin.Slope, N: len(xs)}
+
+	my := Sum(ys) / float64(len(ys))
+	var ssRes, ssTot float64
+	for i := range xs {
+		r := ys[i] - fit.Predict(xs[i])
+		ssRes += r * r
+		d := ys[i] - my
+		ssTot += d * d
+	}
+	fit.R2 = 1.0
+	if ssTot > 0 {
+		fit.R2 = 1 - ssRes/ssTot
+	}
+	return fit, nil
+}

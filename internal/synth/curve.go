@@ -1,0 +1,314 @@
+package synth
+
+import (
+	"math"
+	"math/rand"
+)
+
+// levelGrid is the ten measured utilization levels (10%..100%).
+var levelGrid = []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0}
+
+// normCurve is a normalized power curve: idle fraction plus the ten
+// level powers relative to the 100% level (levels[9] == 1).
+type normCurve struct {
+	idle   float64
+	levels [10]float64
+}
+
+// trapezoidArea integrates the curve over utilization [0, 1] with the
+// trapezoid rule on the 11-point grid — the same quadrature Eq. 1 uses.
+func (c normCurve) trapezoidArea() float64 {
+	area := 0.1 * (c.idle + c.levels[0]) / 2
+	for i := 1; i < 10; i++ {
+		area += 0.1 * (c.levels[i-1] + c.levels[i]) / 2
+	}
+	return area
+}
+
+// ep returns the curve's energy proportionality (Eq. 1).
+func (c normCurve) ep() float64 { return 2 - 2*c.trapezoidArea() }
+
+// peakSpot returns the utilization level(s) maximizing u/p(u) — the
+// peak-efficiency spot(s) assuming throughput proportional to load —
+// and the ratio of the best to the runner-up (stability margin).
+func (c normCurve) peakSpot() (spot float64, margin float64) {
+	best, second := -1.0, -1.0
+	for i, u := range levelGrid {
+		e := u / c.levels[i]
+		if e > best {
+			second = best
+			best = e
+			spot = u
+		} else if e > second {
+			second = e
+		}
+	}
+	if second <= 0 {
+		return spot, math.Inf(1)
+	}
+	return spot, best / second
+}
+
+// monotone reports whether power strictly increases across the curve.
+func (c normCurve) monotone() bool {
+	prev := c.idle
+	for _, p := range c.levels {
+		if p <= prev {
+			return false
+		}
+		prev = p
+	}
+	return true
+}
+
+// cubicShape evaluates s(u) = u + u(1-u)(a + b·u), a monotone-checked
+// S-curve family with s(0)=0 and s(1)=1 used to generate curve shapes.
+func cubicShape(a, b, u float64) float64 {
+	return u + u*(1-u)*(a+b*u)
+}
+
+// shapeCurve builds the normalized curve for shape (a, b) and idle k:
+// p(u) = k + (1-k)·s(u).
+func shapeCurve(a, b, k float64) normCurve {
+	var c normCurve
+	c.idle = k
+	for i, u := range levelGrid {
+		c.levels[i] = k + (1-k)*cubicShape(a, b, u)
+	}
+	return c
+}
+
+// shapeArea returns the trapezoid area of the raw shape s on the grid
+// (with s(0) = 0).
+func shapeArea(a, b float64) float64 {
+	area := 0.1 * cubicShape(a, b, 0.1) / 2
+	for i := 1; i < len(levelGrid); i++ {
+		area += 0.1 * (cubicShape(a, b, levelGrid[i-1]) + cubicShape(a, b, levelGrid[i])) / 2
+	}
+	return area
+}
+
+// idleForEP solves the idle fraction that makes the shape (a, b) hit
+// the target EP exactly: with A* = 1 − EP/2 and G the shape's area,
+// k = (A* − G)/(1 − G). ok is false when the required idle is outside
+// the physical band.
+func idleForEP(a, b, ep float64) (float64, bool) {
+	g := shapeArea(a, b)
+	if g >= 1 {
+		return 0, false
+	}
+	k := (1 - ep/2 - g) / (1 - g)
+	if k < 0.015 || k > 0.93 {
+		return 0, false
+	}
+	return k, true
+}
+
+// shapeAdmissible rejects shapes that are non-monotone or overshoot the
+// 100% power level before full load.
+func shapeAdmissible(a, b float64) bool {
+	prev := 0.0
+	for _, u := range levelGrid {
+		s := cubicShape(a, b, u)
+		if s <= prev || (u < 1 && s >= 1) || s < 0 {
+			return false
+		}
+		prev = s
+	}
+	return true
+}
+
+// peakMargin is the minimum best/runner-up efficiency ratio required so
+// per-level throughput jitter cannot move the peak spot.
+const peakMargin = 1.012
+
+// Eq. 2 constants: the paper's fitted relation EP = A·e^(B·idle). The
+// generator inverts it to choose each server's idle fraction from its
+// EP target, which is what makes the corpus reproduce the correlation
+// (−0.92) and the regression (R² ≈ 0.89).
+const (
+	eq2A = 1.2969
+	eq2B = -2.06
+	// eq2IdleNoise is the σ of the lognormal-ish scatter around the
+	// inverted relation, tuned so the fitted R² lands near the paper's.
+	eq2IdleNoise = 0.05
+)
+
+// idleFromEq2 inverts Eq. 2: idle = ln(EP/A)/B.
+func idleFromEq2(ep float64) float64 {
+	return math.Log(ep/eq2A) / eq2B
+}
+
+// solveCurve builds a curve with the exact target EP whose idle
+// fraction follows the inverted Eq. 2 relation (plus scatter) and whose
+// peak-efficiency spot lands on wantSpot. The cubic shape family
+// provides the curvature; when random search does not hit the spot the
+// curve is nudged level-wise and re-blended to the exact EP.
+func solveCurve(rng *rand.Rand, ep, wantSpot float64) normCurve {
+	targetIdle := clampF(idleFromEq2(ep)+eq2IdleNoise*rng.NormFloat64(), 0.03, 0.90)
+	// The shape area implied by the idle choice:
+	// A* = k + (1−k)·G  →  G = (A* − k)/(1 − k).
+	aStar := 1 - ep/2
+	gTarget := (aStar - targetIdle) / (1 - targetIdle)
+
+	var (
+		fallback    normCurve
+		haveFall    bool
+		fallbackGap = math.Inf(1)
+	)
+	consider := func(c normCurve) (normCurve, bool) {
+		if !c.monotone() {
+			return normCurve{}, false
+		}
+		spot, margin := c.peakSpot()
+		if spot == wantSpot && margin >= peakMargin {
+			return c, true
+		}
+		if forced, ok := forceSpot(c, wantSpot, ep); ok {
+			return forced, true
+		}
+		if gap := math.Abs(spot - wantSpot); gap < fallbackGap && margin >= peakMargin {
+			fallback, haveFall, fallbackGap = c, true, gap
+		}
+		return normCurve{}, false
+	}
+	for attempt := 0; attempt < 200; attempt++ {
+		// One shape degree of freedom comes from the area constraint
+		// (continuous integral ∫s = 1/2 + a/6 + b/12 ≈ grid area); the
+		// other is sampled.
+		a := -1.0 + 2.0*rng.Float64()
+		b := 12 * (gTarget - 0.5 - a/6)
+		if b < -1.6 || b > 1.6 || !shapeAdmissible(a, b) {
+			continue
+		}
+		k, ok := idleForEP(a, b, ep)
+		if !ok {
+			continue
+		}
+		if c, ok := consider(shapeCurve(a, b, k)); ok {
+			return c
+		}
+	}
+	// Relax the idle constraint: free search over the family.
+	for attempt := 0; attempt < 400; attempt++ {
+		a := -1.0 + 2.0*rng.Float64()
+		b := -1.2 + 2.4*rng.Float64()
+		if !shapeAdmissible(a, b) {
+			continue
+		}
+		k, ok := idleForEP(a, b, ep)
+		if !ok {
+			continue
+		}
+		if c, ok := consider(shapeCurve(a, b, k)); ok {
+			return c
+		}
+	}
+	if haveFall {
+		return fallback
+	}
+	// Last resort: a plain linear curve with the exact EP (idle 1−EP),
+	// valid for any EP ≤ ~0.98; steeper EPs always admit a cubic above,
+	// so this branch only serves degenerate inputs.
+	k := 1 - ep
+	if k < 0.015 {
+		k = 0.015
+	}
+	return shapeCurve(0, 0, k)
+}
+
+// forceSpot nudges the power at the desired peak-efficiency level just
+// low enough to win the argmax with margin, then re-blends the curve to
+// the exact EP and verifies the spot survived. It never forces a peak
+// at 100% (the level's power is pinned to 1 by normalization).
+func forceSpot(c normCurve, spot, ep float64) (normCurve, bool) {
+	if spot >= 1 {
+		return normCurve{}, false
+	}
+	idx := -1
+	for i, u := range levelGrid {
+		if u == spot {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return normCurve{}, false
+	}
+	maxOther := 0.0
+	for i, u := range levelGrid {
+		if i == idx {
+			continue
+		}
+		if e := u / c.levels[i]; e > maxOther {
+			maxOther = e
+		}
+	}
+	// p at the spot must satisfy u/p ≥ margin·maxOther.
+	need := spot / (maxOther * (peakMargin + 0.004))
+	if need >= c.levels[idx] {
+		return normCurve{}, false // argmax was already elsewhere by margin
+	}
+	nudged := c
+	nudged.levels[idx] = need
+	if !nudged.monotone() {
+		return normCurve{}, false
+	}
+	out := blendToEP(nudged, ep)
+	if !out.monotone() {
+		return normCurve{}, false
+	}
+	if s, m := out.peakSpot(); s != spot || m < peakMargin {
+		return normCurve{}, false
+	}
+	return out, true
+}
+
+func clampF(v, lo, hi float64) float64 {
+	return math.Max(lo, math.Min(hi, v))
+}
+
+// flatRef is a nearly flat reference curve (EP ≈ 0.05) used to pull a
+// handcrafted curve's EP down.
+func flatRef() normCurve {
+	var c normCurve
+	c.idle = 0.95
+	for i := range c.levels {
+		c.levels[i] = 0.95 + 0.05*levelGrid[i]
+	}
+	return c
+}
+
+// convexRef is a super-proportional reference (p = u², EP ≈ 1.33) used
+// to pull a handcrafted curve's EP up.
+func convexRef() normCurve {
+	var c normCurve
+	for i, u := range levelGrid {
+		c.levels[i] = u * u
+	}
+	return c
+}
+
+// blendToEP adjusts a handcrafted curve to an exact EP target by convex
+// blending with a reference curve on the far side of the target. EP is
+// a linear functional of the curve, so the blend weight solves exactly:
+// λ = (target − ep(curve)) / (ep(ref) − ep(curve)). Handcrafted curves
+// sit close to their targets, so λ stays small and the curve's
+// qualitative features (crossing structure, peak spot) survive; the
+// anchor tests assert them after blending.
+func blendToEP(c normCurve, target float64) normCurve {
+	base := c.ep()
+	if base == target {
+		return c
+	}
+	ref := flatRef()
+	if target > base {
+		ref = convexRef()
+	}
+	lambda := (target - base) / (ref.ep() - base)
+	out := normCurve{idle: (1-lambda)*c.idle + lambda*ref.idle}
+	for i := range c.levels {
+		out.levels[i] = (1-lambda)*c.levels[i] + lambda*ref.levels[i]
+	}
+	return out
+}

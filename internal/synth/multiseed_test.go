@@ -1,0 +1,87 @@
+package synth
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/stats"
+)
+
+// TestInvariantsAcrossSeeds verifies that the headline calibration
+// targets are properties of the generator, not of one lucky seed. Exact
+// invariants (counts, anchors) must hold for every seed; statistical
+// bands use wider tolerances than the seed-1 assertions.
+func TestInvariantsAcrossSeeds(t *testing.T) {
+	for _, seed := range []int64{2, 5, 17, 101} {
+		seed := seed
+		t.Run(string(rune('a'+seed%26)), func(t *testing.T) {
+			rp, err := NewRepository(Config{Seed: seed})
+			if err != nil {
+				t.Fatal(err)
+			}
+			valid := rp.Valid()
+			// Exact invariants.
+			if rp.Len() != TotalSubmissions || valid.Len() != ValidCount {
+				t.Fatalf("seed %d: counts %d/%d", seed, rp.Len(), valid.Len())
+			}
+			if got := valid.YearMismatched().Len(); got != YearMismatchCount {
+				t.Errorf("seed %d: %d mismatches", seed, got)
+			}
+			sorted := valid.SortByEP()
+			if math.Abs(sorted[0].EP()-0.18) > 1e-9 || math.Abs(sorted[len(sorted)-1].EP()-1.05) > 1e-9 {
+				t.Errorf("seed %d: EP extremes %.3f / %.3f", seed, sorted[0].EP(), sorted[len(sorted)-1].EP())
+			}
+			over1 := 0
+			for _, r := range valid.All() {
+				if r.EP() >= 1.0 {
+					over1++
+				}
+			}
+			if over1 != 2 {
+				t.Errorf("seed %d: %d servers with EP ≥ 1", seed, over1)
+			}
+			// Table I histogram is exact under every seed.
+			counts := make(map[float64]int)
+			for _, r := range valid.All() {
+				counts[math.Round(r.MemoryPerCore()*100)/100]++
+			}
+			for _, b := range mpcBuckets {
+				if counts[b.GBPerCore] != b.Count {
+					t.Errorf("seed %d: MPC %.2f count %d, want %d", seed, b.GBPerCore, counts[b.GBPerCore], b.Count)
+				}
+			}
+			// Statistical bands (wide).
+			eps := valid.EPs()
+			idles := make([]float64, 0, valid.Len())
+			for _, r := range valid.All() {
+				idles = append(idles, r.MustCurve().IdleFraction())
+			}
+			if corr, _ := stats.Pearson(eps, idles); corr > -0.85 {
+				t.Errorf("seed %d: corr(EP, idle) = %.3f", seed, corr)
+			}
+			byYear := valid.ByHWYear()
+			mean2012 := stats.MustMean(dataset.NewRepository(byYear[2012]).EPs())
+			mean2008 := stats.MustMean(dataset.NewRepository(byYear[2008]).EPs())
+			if !(mean2012 > 0.75 && mean2012 < 0.90 && mean2008 > 0.28 && mean2008 < 0.46) {
+				t.Errorf("seed %d: year means 2008=%.3f 2012=%.3f", seed, mean2008, mean2012)
+			}
+			// Peak spots: one tie server, pre-2010 all at 100%.
+			ties := 0
+			for _, r := range valid.All() {
+				if _, utils := r.MustCurve().PeakEE(); len(utils) == 2 {
+					ties++
+				}
+			}
+			if ties != 1 {
+				t.Errorf("seed %d: %d tie servers", seed, ties)
+			}
+			for _, r := range valid.YearRange(2004, 2009).All() {
+				if u := r.MustCurve().PeakEEUtilization(); u != 1.0 {
+					t.Errorf("seed %d: pre-2010 server peaks at %.0f%%", seed, 100*u)
+					break
+				}
+			}
+		})
+	}
+}

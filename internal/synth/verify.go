@@ -1,0 +1,162 @@
+package synth
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/dataset"
+	"repro/internal/stats"
+)
+
+// Check is one calibration assertion against a paper target.
+type Check struct {
+	// Name identifies the statistic.
+	Name string
+	// Paper is the published value (as a human-readable string).
+	Paper string
+	// Got is the measured value.
+	Got string
+	// OK reports whether the measured value sits inside the acceptance
+	// band.
+	OK bool
+}
+
+// CalibrationCheck measures a repository against the paper's headline
+// statistics and reports pass/fail per target. It is what
+// `specgen -verify` prints, and doubles as the programmatic contract of
+// the generator: every OK=false row is a calibration regression.
+func CalibrationCheck(rp *dataset.Repository) ([]Check, error) {
+	valid := rp.Valid()
+	var out []Check
+	add := func(name, paper string, got string, ok bool) {
+		out = append(out, Check{Name: name, Paper: paper, Got: got, OK: ok})
+	}
+
+	add("valid results", "477",
+		fmt.Sprintf("%d", valid.Len()), valid.Len() == ValidCount)
+	add("non-compliant results", "40",
+		fmt.Sprintf("%d", rp.NonCompliant().Len()), rp.NonCompliant().Len() == NonCompliantCount)
+	add("published ≠ availability year", "74",
+		fmt.Sprintf("%d", valid.YearMismatched().Len()), valid.YearMismatched().Len() == YearMismatchCount)
+
+	if valid.Len() == 0 {
+		return out, nil
+	}
+	sorted := valid.SortByEP()
+	minEP, maxEP := sorted[0].EP(), sorted[len(sorted)-1].EP()
+	add("minimum EP", "0.18 (2008)",
+		fmt.Sprintf("%.2f (%d)", minEP, sorted[0].HWAvailYear),
+		math.Abs(minEP-0.18) < 1e-6 && sorted[0].HWAvailYear == 2008)
+	add("maximum EP", "1.05 (2012)",
+		fmt.Sprintf("%.2f (%d)", maxEP, sorted[len(sorted)-1].HWAvailYear),
+		math.Abs(maxEP-1.05) < 1e-6 && sorted[len(sorted)-1].HWAvailYear == 2012)
+
+	eps := valid.EPs()
+	cdf, err := stats.NewECDF(eps)
+	if err != nil {
+		return nil, err
+	}
+	below1 := cdf.At(0.9999999)
+	add("EP < 1.0", "99.58%", fmt.Sprintf("%.2f%%", 100*below1), math.Abs(below1-475.0/477) < 1e-9)
+
+	idles := make([]float64, 0, valid.Len())
+	for _, r := range valid.All() {
+		c, err := r.Curve()
+		if err != nil {
+			return nil, err
+		}
+		idles = append(idles, c.IdleFraction())
+	}
+	corrIdle, err := stats.Pearson(eps, idles)
+	if err != nil {
+		return nil, err
+	}
+	add("corr(EP, idle%)", "-0.92", fmt.Sprintf("%.3f", corrIdle), corrIdle < -0.85 && corrIdle > -0.99)
+	fit, err := stats.ExponentialRegression(idles, eps)
+	if err != nil {
+		return nil, err
+	}
+	add("Eq.2 R²", "0.892", fmt.Sprintf("%.3f", fit.R2), fit.R2 > 0.80)
+	add("Eq.2 A", "1.2969", fmt.Sprintf("%.3f", fit.A), fit.A > 1.1 && fit.A < 1.45)
+
+	corrEE, err := stats.Pearson(eps, valid.OverallEEs())
+	if err != nil {
+		return nil, err
+	}
+	add("corr(EP, overall EE)", "0.741", fmt.Sprintf("%.3f", corrEE), corrEE > 0.55 && corrEE < 0.85)
+
+	// Peak-spot shares.
+	spotCount := make(map[float64]int)
+	spots := 0
+	for _, r := range valid.All() {
+		c, err := r.Curve()
+		if err != nil {
+			return nil, err
+		}
+		_, utils := c.PeakEE()
+		for _, u := range utils {
+			spotCount[math.Round(u*10)/10]++
+			spots++
+		}
+	}
+	add("peak-EE spots", "478 (one tie)", fmt.Sprintf("%d", spots), spots == valid.Len()+1)
+	share100 := float64(spotCount[1.0]) / float64(valid.Len())
+	add("peak EE @100% share", "69.25%", fmt.Sprintf("%.2f%%", 100*share100),
+		share100 > 0.64 && share100 < 0.77)
+
+	// Table I histogram.
+	mpcCounts := make(map[float64]int)
+	for _, r := range valid.All() {
+		mpcCounts[math.Round(r.MemoryPerCore()*100)/100]++
+	}
+	tableIOK := true
+	for _, b := range mpcBuckets {
+		if mpcCounts[b.GBPerCore] != b.Count {
+			tableIOK = false
+		}
+	}
+	add("Table I histogram", "15/153/32/68/13/123/26", describeBuckets(mpcCounts), tableIOK)
+
+	// Top-decile asymmetry.
+	topN := valid.Len() / 10
+	if topN > 0 {
+		topEP := sorted[len(sorted)-topN:]
+		from2012 := 0
+		for _, r := range topEP {
+			if r.HWAvailYear == 2012 {
+				from2012++
+			}
+		}
+		share := float64(from2012) / float64(topN)
+		add("top-EP decile from 2012", "91.7%", fmt.Sprintf("%.1f%%", 100*share),
+			share > 0.75)
+	}
+	return out, nil
+}
+
+func describeBuckets(counts map[float64]int) string {
+	parts := make([]string, 0, len(mpcBuckets))
+	for _, b := range mpcBuckets {
+		parts = append(parts, fmt.Sprintf("%d", counts[b.GBPerCore]))
+	}
+	return strings.Join(parts, "/")
+}
+
+// AllChecksPass reports whether every calibration check holds, plus the
+// names of the failures.
+func AllChecksPass(rp *dataset.Repository) (bool, []string, error) {
+	checks, err := CalibrationCheck(rp)
+	if err != nil {
+		return false, nil, err
+	}
+	var failures []string
+	for _, c := range checks {
+		if !c.OK {
+			failures = append(failures, c.Name)
+		}
+	}
+	sort.Strings(failures)
+	return len(failures) == 0, failures, nil
+}

@@ -1,0 +1,66 @@
+package trace
+
+import "fmt"
+
+// Tariff prices a datacenter's electricity and carbon. The paper's
+// motivation (§I) is stated in exactly these units: billions of kWh and
+// their bills and footprints.
+type Tariff struct {
+	// USDPerKWh is the blended electricity price.
+	USDPerKWh float64
+	// KgCO2PerKWh is the grid carbon intensity.
+	KgCO2PerKWh float64
+	// PUE scales IT energy to facility energy (cooling, distribution);
+	// zero means 1.0.
+	PUE float64
+}
+
+// DefaultTariff returns a typical 2016 US datacenter tariff:
+// $0.10/kWh, 0.45 kgCO₂/kWh grid intensity, PUE 1.5.
+func DefaultTariff() Tariff {
+	return Tariff{USDPerKWh: 0.10, KgCO2PerKWh: 0.45, PUE: 1.5}
+}
+
+// Bill is the cost and carbon accounting of a replay.
+type Bill struct {
+	// FacilityKWh is IT energy scaled by PUE.
+	FacilityKWh float64
+	// USD is the electricity cost.
+	USD float64
+	// KgCO2 is the carbon footprint.
+	KgCO2 float64
+}
+
+// Cost converts a replay result into a bill under the tariff.
+func Cost(res ReplayResult, t Tariff) (Bill, error) {
+	if t.USDPerKWh < 0 || t.KgCO2PerKWh < 0 {
+		return Bill{}, fmt.Errorf("trace: negative tariff %+v", t)
+	}
+	pue := t.PUE
+	if pue == 0 {
+		pue = 1
+	}
+	if pue < 1 {
+		return Bill{}, fmt.Errorf("trace: PUE %v below 1", pue)
+	}
+	facility := res.EnergyKWh * pue
+	return Bill{
+		FacilityKWh: facility,
+		USD:         facility * t.USDPerKWh,
+		KgCO2:       facility * t.KgCO2PerKWh,
+	}, nil
+}
+
+// AnnualizedBill scales a bill measured over traceDays to a 365-day
+// year — how operators reason about placement-policy savings.
+func AnnualizedBill(b Bill, traceDays float64) (Bill, error) {
+	if traceDays <= 0 {
+		return Bill{}, fmt.Errorf("trace: invalid trace length %v days", traceDays)
+	}
+	f := 365 / traceDays
+	return Bill{
+		FacilityKWh: b.FacilityKWh * f,
+		USD:         b.USD * f,
+		KgCO2:       b.KgCO2 * f,
+	}, nil
+}

@@ -1,0 +1,358 @@
+// Package workload is a transaction-level simulator of the
+// SPECpower_ssj2008 workload: the six server-side-Java transaction
+// types in their published mix, scheduled in batches with exponential
+// inter-arrival times against a finite-capacity server, with latency
+// and utilization accounting. internal/bench uses it as its
+// high-fidelity mode; the fast mode aggregates per second instead.
+//
+// The simulation is a single-server FIFO queue over batches (the real
+// benchmark schedules batches of transactions, not single operations):
+// batches are scheduled at the target rate with bounded uniform jitter
+// (mirroring the benchmark's rate controller, which holds the offered
+// load near its schedule), service demand per batch follows the
+// transaction mix with lognormal variability, and the engine reports
+// achieved throughput, busy fraction, and latency percentiles.
+package workload
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// TxType is one of the six ssj transaction types.
+type TxType int
+
+// The ssj_2008 transaction types.
+const (
+	NewOrder TxType = iota + 1
+	Payment
+	OrderStatus
+	Delivery
+	StockLevel
+	CustomerReport
+)
+
+// String returns the transaction name.
+func (t TxType) String() string {
+	switch t {
+	case NewOrder:
+		return "NewOrder"
+	case Payment:
+		return "Payment"
+	case OrderStatus:
+		return "OrderStatus"
+	case Delivery:
+		return "Delivery"
+	case StockLevel:
+		return "StockLevel"
+	case CustomerReport:
+		return "CustomerReport"
+	default:
+		return "Unknown"
+	}
+}
+
+// AllTxTypes lists the transaction types.
+func AllTxTypes() []TxType {
+	return []TxType{NewOrder, Payment, OrderStatus, Delivery, StockLevel, CustomerReport}
+}
+
+// Mix maps transaction types to their share of the workload.
+type Mix map[TxType]float64
+
+// DefaultMix returns the published ssj_2008 transaction mix.
+func DefaultMix() Mix {
+	return Mix{
+		NewOrder:       0.303,
+		Payment:        0.303,
+		OrderStatus:    0.0303,
+		Delivery:       0.0303,
+		StockLevel:     0.0303,
+		CustomerReport: 0.303,
+	}
+}
+
+// workUnits is the relative processing cost per transaction type,
+// normalized so the default mix averages 1.0 work unit.
+var workUnits = map[TxType]float64{
+	NewOrder:       1.20,
+	Payment:        0.85,
+	OrderStatus:    0.45,
+	Delivery:       1.05,
+	StockLevel:     0.70,
+	CustomerReport: 1.12,
+}
+
+// MeanWorkUnits returns the mix's average work units per transaction.
+func (m Mix) MeanWorkUnits() float64 {
+	var total, weight float64
+	for tx, share := range m {
+		total += share * workUnits[tx]
+		weight += share
+	}
+	if weight == 0 {
+		return 0
+	}
+	return total / weight
+}
+
+// normalize returns the mix scaled to sum to 1.
+func (m Mix) normalize() (Mix, error) {
+	var sum float64
+	for _, share := range m {
+		if share < 0 {
+			return nil, errors.New("workload: negative mix share")
+		}
+		sum += share
+	}
+	if sum <= 0 {
+		return nil, errors.New("workload: empty transaction mix")
+	}
+	out := make(Mix, len(m))
+	for tx, share := range m {
+		out[tx] = share / sum
+	}
+	return out, nil
+}
+
+// Config drives one simulated measurement interval.
+type Config struct {
+	// Seed makes the interval reproducible.
+	Seed int64
+	// CapacityOpsPerSec is the server's processing capacity in
+	// work-unit-normalized transactions per second.
+	CapacityOpsPerSec float64
+	// TargetRate is the scheduled arrival rate in transactions per
+	// second. Inf runs closed-loop (calibration); 0 is active idle.
+	TargetRate float64
+	// DurationSeconds is the simulated interval length.
+	DurationSeconds float64
+	// Mix overrides the transaction mix (nil = DefaultMix).
+	Mix Mix
+	// BatchTx is the number of transactions per scheduled batch; zero
+	// sizes batches so roughly 200 batch events occur per simulated
+	// second at full load.
+	BatchTx int
+	// ServiceCV is the coefficient of variation of batch service
+	// demand; zero selects 0.15.
+	ServiceCV float64
+}
+
+// Metrics is the outcome of one interval.
+type Metrics struct {
+	// OfferedTx and CompletedTx count transactions.
+	OfferedTx, CompletedTx float64
+	// OpsPerSec is achieved throughput in transactions per second.
+	OpsPerSec float64
+	// BusyFraction is the share of the interval the server spent
+	// processing.
+	BusyFraction float64
+	// Latency percentiles over batch response times, in seconds.
+	LatencyP50, LatencyP95, LatencyP99 float64
+	// MeanLatency in seconds.
+	MeanLatency float64
+	// TxCounts is the per-type completion tally.
+	TxCounts map[TxType]float64
+}
+
+// Simulate runs one measurement interval.
+func Simulate(cfg Config) (Metrics, error) {
+	if cfg.CapacityOpsPerSec <= 0 {
+		return Metrics{}, fmt.Errorf("workload: capacity %v", cfg.CapacityOpsPerSec)
+	}
+	if cfg.DurationSeconds <= 0 {
+		return Metrics{}, fmt.Errorf("workload: duration %v", cfg.DurationSeconds)
+	}
+	if cfg.TargetRate < 0 {
+		return Metrics{}, fmt.Errorf("workload: target rate %v", cfg.TargetRate)
+	}
+	mix := cfg.Mix
+	if mix == nil {
+		mix = DefaultMix()
+	}
+	mix, err := mix.normalize()
+	if err != nil {
+		return Metrics{}, err
+	}
+	cv := cfg.ServiceCV
+	if cv == 0 {
+		cv = 0.15
+	}
+	batch := cfg.BatchTx
+	if batch <= 0 {
+		batch = int(math.Max(1, cfg.CapacityOpsPerSec/200))
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	m := Metrics{TxCounts: make(map[TxType]float64, len(mix))}
+	if cfg.TargetRate == 0 {
+		return m, nil // active idle: no arrivals, no busy time
+	}
+
+	// Cumulative mix table for sampling batch composition.
+	types := AllTxTypes()
+	cum := make([]float64, len(types))
+	var acc float64
+	for i, tx := range types {
+		acc += mix[tx]
+		cum[i] = acc
+	}
+	sampleType := func() TxType {
+		x := rng.Float64()
+		for i, c := range cum {
+			if x <= c {
+				return types[i]
+			}
+		}
+		return types[len(types)-1]
+	}
+
+	// Lognormal service multiplier with the requested CV.
+	sigma := math.Sqrt(math.Log(1 + cv*cv))
+	mu := -sigma * sigma / 2
+	serviceNoise := func() float64 {
+		return math.Exp(mu + sigma*rng.NormFloat64())
+	}
+
+	closedLoop := math.IsInf(cfg.TargetRate, 1)
+	batchRate := cfg.TargetRate / float64(batch)
+	meanWork := mix.MeanWorkUnits()
+
+	var (
+		clock      float64 // arrival clock
+		serverFree float64
+		busy       float64
+		latencyRes = newReservoir(4096, rng)
+		totalWait  float64
+		nowArrival float64
+	)
+	for {
+		if closedLoop {
+			nowArrival = serverFree // back-to-back batches
+		} else {
+			// Scheduled arrivals with bounded jitter: the real
+			// benchmark's controller keeps offered load on target.
+			clock += (0.5 + rng.Float64()) / batchRate
+			nowArrival = clock
+		}
+		if nowArrival >= cfg.DurationSeconds {
+			break
+		}
+		// Compose the batch.
+		var work float64
+		counts := make(map[TxType]int, len(types))
+		for i := 0; i < batch; i++ {
+			tx := sampleType()
+			counts[tx]++
+			work += workUnits[tx]
+		}
+		service := work / meanWork / cfg.CapacityOpsPerSec * serviceNoise()
+		start := math.Max(nowArrival, serverFree)
+		complete := start + service
+		if complete > cfg.DurationSeconds {
+			// The interval ends before this batch completes; the real
+			// benchmark discards in-flight work at interval boundaries.
+			busy += math.Max(0, cfg.DurationSeconds-start)
+			break
+		}
+		serverFree = complete
+		busy += service
+		m.OfferedTx += float64(batch)
+		m.CompletedTx += float64(batch)
+		for tx, n := range counts {
+			m.TxCounts[tx] += float64(n)
+		}
+		lat := complete - nowArrival
+		totalWait += lat
+		latencyRes.add(lat)
+	}
+	m.OpsPerSec = m.CompletedTx / cfg.DurationSeconds
+	m.BusyFraction = math.Min(1, busy/cfg.DurationSeconds)
+	if n := m.CompletedTx / float64(batch); n > 0 {
+		m.MeanLatency = totalWait / n
+	}
+	m.LatencyP50, m.LatencyP95, m.LatencyP99 = latencyRes.percentiles()
+	return m, nil
+}
+
+// reservoir is a fixed-size uniform sample of latencies.
+type reservoir struct {
+	samples []float64
+	seen    int
+	rng     *rand.Rand
+}
+
+func newReservoir(size int, rng *rand.Rand) *reservoir {
+	return &reservoir{samples: make([]float64, 0, size), rng: rng}
+}
+
+func (r *reservoir) add(v float64) {
+	r.seen++
+	if len(r.samples) < cap(r.samples) {
+		r.samples = append(r.samples, v)
+		return
+	}
+	if i := r.rng.Intn(r.seen); i < len(r.samples) {
+		r.samples[i] = v
+	}
+}
+
+func (r *reservoir) percentiles() (p50, p95, p99 float64) {
+	if len(r.samples) == 0 {
+		return 0, 0, 0
+	}
+	sorted := append([]float64(nil), r.samples...)
+	sort.Float64s(sorted)
+	at := func(q float64) float64 {
+		i := int(q * float64(len(sorted)-1))
+		return sorted[i]
+	}
+	return at(0.50), at(0.95), at(0.99)
+}
+
+// MaxRateUnderSLA finds, by bisection, the highest sustainable arrival
+// rate (tx/s) whose simulated p99 batch latency stays at or below
+// slaP99Seconds. Latency-critical services derate their servers this
+// way: the resulting rate over capacity is the utilization cap a
+// placement engine must respect (the paper's ref [9]).
+func MaxRateUnderSLA(cfg Config, slaP99Seconds float64) (float64, error) {
+	if slaP99Seconds <= 0 {
+		return 0, fmt.Errorf("workload: SLA %v", slaP99Seconds)
+	}
+	probe := func(rate float64) (float64, error) {
+		c := cfg
+		c.TargetRate = rate
+		m, err := Simulate(c)
+		if err != nil {
+			return 0, err
+		}
+		return m.LatencyP99, nil
+	}
+	// The minimum possible p99 is one batch service time; an SLA below
+	// that is unattainable.
+	low, err := probe(0.05 * cfg.CapacityOpsPerSec)
+	if err != nil {
+		return 0, err
+	}
+	if low > slaP99Seconds {
+		return 0, fmt.Errorf("workload: SLA %.4fs below minimum service latency %.4fs",
+			slaP99Seconds, low)
+	}
+	lo, hi := 0.05*cfg.CapacityOpsPerSec, cfg.CapacityOpsPerSec
+	for i := 0; i < 12; i++ {
+		mid := (lo + hi) / 2
+		p99, err := probe(mid)
+		if err != nil {
+			return 0, err
+		}
+		if p99 <= slaP99Seconds {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo, nil
+}

@@ -1,0 +1,278 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSimulateValidation(t *testing.T) {
+	base := Config{Seed: 1, CapacityOpsPerSec: 1e5, TargetRate: 5e4, DurationSeconds: 10}
+	if _, err := Simulate(base); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	bad := base
+	bad.CapacityOpsPerSec = 0
+	if _, err := Simulate(bad); err == nil {
+		t.Error("zero capacity accepted")
+	}
+	bad = base
+	bad.DurationSeconds = 0
+	if _, err := Simulate(bad); err == nil {
+		t.Error("zero duration accepted")
+	}
+	bad = base
+	bad.TargetRate = -1
+	if _, err := Simulate(bad); err == nil {
+		t.Error("negative rate accepted")
+	}
+	bad = base
+	bad.Mix = Mix{NewOrder: -1}
+	if _, err := Simulate(bad); err == nil {
+		t.Error("negative mix accepted")
+	}
+	bad = base
+	bad.Mix = Mix{}
+	if _, err := Simulate(bad); err == nil {
+		t.Error("empty mix accepted")
+	}
+}
+
+func TestActiveIdle(t *testing.T) {
+	m, err := Simulate(Config{Seed: 1, CapacityOpsPerSec: 1e5, TargetRate: 0, DurationSeconds: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.CompletedTx != 0 || m.BusyFraction != 0 || m.OpsPerSec != 0 {
+		t.Errorf("idle interval did work: %+v", m)
+	}
+}
+
+func TestRateControlAccuracy(t *testing.T) {
+	// At moderate load the achieved throughput tracks the scheduled
+	// rate within SPEC's tolerance.
+	for _, frac := range []float64{0.2, 0.5, 0.8} {
+		cfg := Config{
+			Seed:              7,
+			CapacityOpsPerSec: 2e5,
+			TargetRate:        frac * 2e5,
+			DurationSeconds:   60,
+		}
+		m, err := Simulate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rel := m.OpsPerSec / cfg.TargetRate
+		if rel < 0.97 || rel > 1.03 {
+			t.Errorf("load %.0f%%: achieved/target = %.3f", 100*frac, rel)
+		}
+		if math.Abs(m.BusyFraction-frac) > 0.05 {
+			t.Errorf("load %.0f%%: busy fraction %.3f", 100*frac, m.BusyFraction)
+		}
+	}
+}
+
+func TestClosedLoopSaturates(t *testing.T) {
+	cfg := Config{
+		Seed:              3,
+		CapacityOpsPerSec: 1e5,
+		TargetRate:        math.Inf(1),
+		DurationSeconds:   60,
+	}
+	m, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.BusyFraction < 0.99 {
+		t.Errorf("closed loop busy = %.3f, want ≈ 1", m.BusyFraction)
+	}
+	rel := m.OpsPerSec / cfg.CapacityOpsPerSec
+	if rel < 0.95 || rel > 1.05 {
+		t.Errorf("closed loop throughput/capacity = %.3f", rel)
+	}
+}
+
+func TestLatencyGrowsTowardSaturation(t *testing.T) {
+	lat := func(frac float64) float64 {
+		m, err := Simulate(Config{
+			Seed:              11,
+			CapacityOpsPerSec: 2e5,
+			TargetRate:        frac * 2e5,
+			DurationSeconds:   60,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m.MeanLatency
+	}
+	low, mid, high := lat(0.2), lat(0.6), lat(0.97)
+	if !(low < mid && mid < high) {
+		t.Errorf("latency not increasing with load: %.4g, %.4g, %.4g", low, mid, high)
+	}
+	// Queueing, not just service: near saturation mean latency clearly
+	// exceeds the low-load response time. (The jittered scheduler keeps
+	// queues shorter than a pure Poisson process would.)
+	if high < 1.25*low {
+		t.Errorf("no queueing visible near saturation: %.4g vs %.4g", high, low)
+	}
+}
+
+func TestLatencyPercentilesOrdered(t *testing.T) {
+	m, err := Simulate(Config{
+		Seed:              5,
+		CapacityOpsPerSec: 2e5,
+		TargetRate:        1.4e5,
+		DurationSeconds:   60,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(m.LatencyP50 <= m.LatencyP95 && m.LatencyP95 <= m.LatencyP99) {
+		t.Errorf("percentiles out of order: %v / %v / %v", m.LatencyP50, m.LatencyP95, m.LatencyP99)
+	}
+	if m.LatencyP50 <= 0 {
+		t.Error("p50 should be positive under load")
+	}
+}
+
+func TestTransactionMixHonored(t *testing.T) {
+	m, err := Simulate(Config{
+		Seed:              9,
+		CapacityOpsPerSec: 2e5,
+		TargetRate:        1e5,
+		DurationSeconds:   60,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mix := DefaultMix()
+	for _, tx := range AllTxTypes() {
+		share := m.TxCounts[tx] / m.CompletedTx
+		if math.Abs(share-mix[tx]/0.9999) > 0.02 {
+			t.Errorf("%v share = %.4f, want ≈ %.4f", tx, share, mix[tx])
+		}
+	}
+}
+
+func TestCustomMix(t *testing.T) {
+	m, err := Simulate(Config{
+		Seed:              2,
+		CapacityOpsPerSec: 1e5,
+		TargetRate:        5e4,
+		DurationSeconds:   60,
+		Mix:               Mix{NewOrder: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.TxCounts[NewOrder] != m.CompletedTx {
+		t.Error("single-type mix produced other transactions")
+	}
+}
+
+func TestDeterministicUnderSeed(t *testing.T) {
+	cfg := Config{Seed: 21, CapacityOpsPerSec: 1e5, TargetRate: 6e4, DurationSeconds: 60}
+	a, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.CompletedTx != b.CompletedTx || a.BusyFraction != b.BusyFraction || a.LatencyP99 != b.LatencyP99 {
+		t.Error("same seed produced different metrics")
+	}
+	cfg.Seed = 22
+	c, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.CompletedTx == c.CompletedTx && a.LatencyP99 == c.LatencyP99 {
+		t.Error("different seeds produced identical metrics")
+	}
+}
+
+func TestMeanWorkUnitsNearOne(t *testing.T) {
+	// The default mix is normalized so a transaction averages ~1 work
+	// unit; capacity in ops/s then equals capacity in tx/s.
+	mw := DefaultMix().MeanWorkUnits()
+	if mw < 0.9 || mw > 1.2 {
+		t.Errorf("default mix mean work = %.3f, want ≈ 1", mw)
+	}
+	if (Mix{}).MeanWorkUnits() != 0 {
+		t.Error("empty mix mean work should be 0")
+	}
+}
+
+func TestTxTypeStrings(t *testing.T) {
+	if NewOrder.String() != "NewOrder" || CustomerReport.String() != "CustomerReport" {
+		t.Error("tx names wrong")
+	}
+	if TxType(99).String() != "Unknown" {
+		t.Error("unknown tx name")
+	}
+	if len(AllTxTypes()) != 6 {
+		t.Error("want 6 transaction types")
+	}
+}
+
+func TestReservoirBounded(t *testing.T) {
+	m, err := Simulate(Config{
+		Seed:              4,
+		CapacityOpsPerSec: 1e6,
+		TargetRate:        8e5,
+		DurationSeconds:   60,
+		BatchTx:           200, // many events
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.CompletedTx < 2e5 {
+		t.Skip("not enough events to exercise the reservoir")
+	}
+	if !(m.LatencyP50 <= m.LatencyP95 && m.LatencyP95 <= m.LatencyP99) {
+		t.Error("reservoir percentiles out of order at high volume")
+	}
+}
+
+func TestMaxRateUnderSLA(t *testing.T) {
+	cfg := Config{Seed: 31, CapacityOpsPerSec: 2e5, DurationSeconds: 40}
+	// A generous SLA admits nearly full utilization; a tight one forces
+	// derating.
+	loose, err := MaxRateUnderSLA(cfg, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Minimum service latency for the default batch sizing is ~5 ms;
+	// 7 ms leaves little queueing headroom.
+	tight, err := MaxRateUnderSLA(cfg, 0.007)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(tight < loose) {
+		t.Errorf("tight SLA rate %v should sit below loose %v", tight, loose)
+	}
+	if loose < 0.85*cfg.CapacityOpsPerSec {
+		t.Errorf("loose SLA rate %v too conservative", loose)
+	}
+	if tight > 0.95*cfg.CapacityOpsPerSec {
+		t.Errorf("tight SLA rate %v too permissive", tight)
+	}
+	// Verify the returned rate actually meets the SLA.
+	check := cfg
+	check.TargetRate = tight
+	m, err := Simulate(check)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.LatencyP99 > 0.007*1.15 {
+		t.Errorf("p99 at returned rate = %v, SLA 0.007", m.LatencyP99)
+	}
+	// Unattainable SLA errors cleanly.
+	if _, err := MaxRateUnderSLA(cfg, 1e-6); err == nil {
+		t.Error("impossible SLA accepted")
+	}
+	if _, err := MaxRateUnderSLA(cfg, 0); err == nil {
+		t.Error("zero SLA accepted")
+	}
+}
