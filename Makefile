@@ -2,9 +2,14 @@
 
 GO ?= go
 
-.PHONY: all build vet test bench report report-html verify examples clean
+.PHONY: all check build vet test race bench report report-html verify examples clean
 
-all: build vet test
+all: check
+
+# The default gate: compile, vet, unit tests, and the race detector
+# over every package (the memo/column caches are lock-free on the read
+# path, so the race run is part of the standard check).
+check: build vet test race
 
 build:
 	$(GO) build ./...
@@ -15,9 +20,12 @@ vet:
 test:
 	$(GO) test ./...
 
+race:
+	$(GO) test -race ./...
+
 # One benchmark per paper table/figure; prints each regenerated series once.
 bench:
-	$(GO) test -bench=. -benchmem
+	$(GO) test -bench=. -benchmem -count=1
 
 # The full evaluation section as text / standalone HTML.
 report:

@@ -430,6 +430,54 @@ func BenchmarkCorpusGeneration(b *testing.B) {
 	}
 }
 
+// BenchmarkRepositoryMetricsCold measures the one-time cost of building
+// every curve and metric column from scratch: each iteration clones the
+// corpus (fresh, empty caches) and precomputes it.
+func BenchmarkRepositoryMetricsCold(b *testing.B) {
+	rp := benchCorpus(b)
+	all := rp.All()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		fresh := make([]*dataset.Result, len(all))
+		for j, r := range all {
+			fresh[j] = r.Clone()
+		}
+		cold := dataset.NewRepository(fresh)
+		b.StartTimer()
+		cold.Precompute()
+		if eps := cold.EPs(); len(eps) != len(all) {
+			b.Fatalf("got %d EPs", len(eps))
+		}
+	}
+}
+
+// BenchmarkRepositoryMetricsWarm measures the steady-state cost the
+// analyses actually pay: reading three full metric columns off the
+// warm cache.
+func BenchmarkRepositoryMetricsWarm(b *testing.B) {
+	rp := benchCorpus(b)
+	rp.Precompute()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(rp.EPs())+len(rp.OverallEEs())+len(rp.IdleFractions()) != 3*rp.Len() {
+			b.Fatal("short column")
+		}
+	}
+}
+
+// BenchmarkSortByEP times the key-column sort over the full corpus.
+func BenchmarkSortByEP(b *testing.B) {
+	rp := benchCorpus(b)
+	rp.Precompute()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if sorted := rp.SortByEP(); len(sorted) != rp.Len() {
+			b.Fatal("short sort")
+		}
+	}
+}
+
 // BenchmarkPlacement times the EP-aware planner on a 100-server fleet.
 func BenchmarkPlacement(b *testing.B) {
 	rp := benchCorpus(b)

@@ -15,8 +15,31 @@ import (
 
 	"repro/internal/dataset"
 	"repro/internal/microarch"
+	"repro/internal/par"
 	"repro/internal/stats"
 )
+
+// epsOf reads the memoized EP of every result in group order. No curves
+// are rebuilt: each result computes its metric bundle at most once per
+// process.
+func epsOf(rs []*dataset.Result) []float64 {
+	out := make([]float64, len(rs))
+	for i, r := range rs {
+		out[i] = r.EP()
+	}
+	return out
+}
+
+// metricSlices reads the memoized EP and overall-EE columns of a group.
+func metricSlices(rs []*dataset.Result) (eps, ees []float64) {
+	eps = make([]float64, len(rs))
+	ees = make([]float64, len(rs))
+	for i, r := range rs {
+		eps[i] = r.EP()
+		ees[i] = r.OverallEE()
+	}
+	return eps, ees
+}
 
 // YearStats aggregates one hardware-availability year.
 type YearStats struct {
@@ -46,35 +69,40 @@ func YearlyTrendByPublished(rp *dataset.Repository) ([]YearStats, error) {
 func yearlyTrendBy(rp *dataset.Repository, key func(*dataset.Result) int) ([]YearStats, error) {
 	groups := make(map[int][]*dataset.Result)
 	for _, r := range rp.All() {
-		groups[key(r)] = append(groups[key(r)], r)
+		y := key(r)
+		groups[y] = append(groups[y], r)
 	}
 	years := make([]int, 0, len(groups))
 	for y := range groups {
 		years = append(years, y)
 	}
 	sort.Ints(years)
-	out := make([]YearStats, 0, len(years))
-	for _, y := range years {
-		g := dataset.NewRepository(groups[y])
-		eps, ees := g.EPs(), g.OverallEEs()
-		peaks := make([]float64, 0, g.Len())
-		for _, r := range g.All() {
-			p, _ := r.MustCurve().PeakEE()
-			peaks = append(peaks, p)
+	out := make([]YearStats, len(years))
+	err := par.ForEachErr(len(years), func(i int) error {
+		y := years[i]
+		g := groups[y]
+		eps, ees := metricSlices(g)
+		peaks := make([]float64, len(g))
+		for j, r := range g {
+			peaks[j] = r.PeakEEValue()
 		}
 		epSum, err := stats.Describe(eps)
 		if err != nil {
-			return nil, fmt.Errorf("analysis: year %d: %w", y, err)
+			return fmt.Errorf("analysis: year %d: %w", y, err)
 		}
 		eeSum, err := stats.Describe(ees)
 		if err != nil {
-			return nil, fmt.Errorf("analysis: year %d: %w", y, err)
+			return fmt.Errorf("analysis: year %d: %w", y, err)
 		}
 		peakSum, err := stats.Describe(peaks)
 		if err != nil {
-			return nil, fmt.Errorf("analysis: year %d: %w", y, err)
+			return fmt.Errorf("analysis: year %d: %w", y, err)
 		}
-		out = append(out, YearStats{Year: y, N: g.Len(), EP: epSum, EE: eeSum, PeakEE: peakSum})
+		out[i] = YearStats{Year: y, N: len(g), EP: epSum, EE: eeSum, PeakEE: peakSum}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -105,16 +133,16 @@ type FamilyCount struct {
 // family order (Fig. 6).
 func ByFamily(rp *dataset.Repository) []FamilyCount {
 	groups := rp.ByFamily()
-	out := make([]FamilyCount, 0, len(groups))
+	fams := make([]microarch.Family, 0, len(groups))
 	for _, fam := range microarch.AllFamilies() {
-		rs, ok := groups[fam]
-		if !ok {
-			continue
+		if _, ok := groups[fam]; ok {
+			fams = append(fams, fam)
 		}
-		g := dataset.NewRepository(rs)
-		out = append(out, FamilyCount{Family: fam, Count: g.Len(), MeanEP: stats.MustMean(g.EPs())})
 	}
-	return out
+	return par.Map(len(fams), func(i int) FamilyCount {
+		rs := groups[fams[i]]
+		return FamilyCount{Family: fams[i], Count: len(rs), MeanEP: stats.MustMean(epsOf(rs))}
+	})
 }
 
 // CodenameStats is one Fig. 7 entry: servers and EP per processor
@@ -127,26 +155,27 @@ type CodenameStats struct {
 }
 
 // ByCodename groups servers by processor codename in chronological
-// order (Fig. 7).
+// order (Fig. 7). The per-codename aggregation fans out across CPUs.
 func ByCodename(rp *dataset.Repository) []CodenameStats {
 	groups := rp.ByCodename()
 	order := append(microarch.AllCodenames(), microarch.UnknownCodename)
-	out := make([]CodenameStats, 0, len(groups))
+	codes := make([]microarch.Codename, 0, len(groups))
 	for _, code := range order {
-		rs, ok := groups[code]
-		if !ok {
-			continue
+		if _, ok := groups[code]; ok {
+			codes = append(codes, code)
 		}
-		g := dataset.NewRepository(rs)
-		med, _ := stats.Median(g.EPs())
-		out = append(out, CodenameStats{
-			Codename: code,
-			Count:    g.Len(),
-			MeanEP:   stats.MustMean(g.EPs()),
-			MedianEP: med,
-		})
 	}
-	return out
+	return par.Map(len(codes), func(i int) CodenameStats {
+		rs := groups[codes[i]]
+		eps := epsOf(rs)
+		med, _ := stats.Median(eps)
+		return CodenameStats{
+			Codename: codes[i],
+			Count:    len(rs),
+			MeanEP:   stats.MustMean(eps),
+			MedianEP: med,
+		}
+	})
 }
 
 // MarchMixRow is one year of Fig. 8: the family mix of that year's
@@ -203,22 +232,21 @@ func groupStats(groups map[int][]*dataset.Result, minCount int) []GroupStats {
 		}
 	}
 	sort.Ints(keys)
-	out := make([]GroupStats, 0, len(keys))
-	for _, k := range keys {
-		g := dataset.NewRepository(groups[k])
-		eps, ees := g.EPs(), g.OverallEEs()
+	return par.Map(len(keys), func(i int) GroupStats {
+		k := keys[i]
+		rs := groups[k]
+		eps, ees := metricSlices(rs)
 		medEP, _ := stats.Median(eps)
 		medEE, _ := stats.Median(ees)
-		out = append(out, GroupStats{
+		return GroupStats{
 			Key:      k,
-			N:        g.Len(),
+			N:        len(rs),
 			MeanEP:   stats.MustMean(eps),
 			MedianEP: medEP,
 			MeanEE:   stats.MustMean(ees),
 			MedianEE: medEE,
-		})
-	}
-	return out
+		}
+	})
 }
 
 // TwoChipComparison is the Fig. 15 aggregate: how 2-chip single-node
@@ -260,19 +288,22 @@ func TwoChipVsAll(rp *dataset.Repository) TwoChipComparison {
 
 	var cmp TwoChipComparison
 	var sumMeanEP, sumMeanEE, sumMedEP, sumMedEE float64
-	for _, y := range years {
-		gTwo := dataset.NewRepository(byYearTwo[y])
-		gAll := dataset.NewRepository(byYearAll[y])
-		ty := TwoChipYear{Year: y, TwoChipN: gTwo.Len()}
-		ty.TwoChipMeanEP = stats.MustMean(gTwo.EPs())
-		ty.AllMeanEP = stats.MustMean(gAll.EPs())
-		ty.TwoChipMeanEE = stats.MustMean(gTwo.OverallEEs())
-		ty.AllMeanEE = stats.MustMean(gAll.OverallEEs())
-		ty.TwoChipMedianEP, _ = stats.Median(gTwo.EPs())
-		ty.AllMedianEP, _ = stats.Median(gAll.EPs())
-		ty.TwoChipMedianEE, _ = stats.Median(gTwo.OverallEEs())
-		ty.AllMedianEE, _ = stats.Median(gAll.OverallEEs())
-		cmp.Years = append(cmp.Years, ty)
+	cmp.Years = par.Map(len(years), func(i int) TwoChipYear {
+		y := years[i]
+		twoEPs, twoEEs := metricSlices(byYearTwo[y])
+		allEPs, allEEs := metricSlices(byYearAll[y])
+		ty := TwoChipYear{Year: y, TwoChipN: len(byYearTwo[y])}
+		ty.TwoChipMeanEP = stats.MustMean(twoEPs)
+		ty.AllMeanEP = stats.MustMean(allEPs)
+		ty.TwoChipMeanEE = stats.MustMean(twoEEs)
+		ty.AllMeanEE = stats.MustMean(allEEs)
+		ty.TwoChipMedianEP, _ = stats.Median(twoEPs)
+		ty.AllMedianEP, _ = stats.Median(allEPs)
+		ty.TwoChipMedianEE, _ = stats.Median(twoEEs)
+		ty.AllMedianEE, _ = stats.Median(allEEs)
+		return ty
+	})
+	for _, ty := range cmp.Years {
 		sumMeanEP += ty.TwoChipMeanEP/ty.AllMeanEP - 1
 		sumMeanEE += ty.TwoChipMeanEE/ty.AllMeanEE - 1
 		sumMedEP += ty.TwoChipMedianEP/ty.AllMedianEP - 1
@@ -298,22 +329,22 @@ type PeakShiftRow struct {
 }
 
 // PeakShift computes the Fig. 16 series by hardware availability year.
+// Each year's tally runs in parallel over the memoized peak spots.
 func PeakShift(rp *dataset.Repository) []PeakShiftRow {
 	byYear := rp.ByHWYear()
 	years := rp.HWYears()
-	out := make([]PeakShiftRow, 0, len(years))
-	for _, y := range years {
+	return par.Map(len(years), func(i int) PeakShiftRow {
+		y := years[i]
 		row := PeakShiftRow{Year: y, Counts: make(map[float64]int)}
 		for _, r := range byYear[y] {
-			_, utils := r.MustCurve().PeakEE()
+			_, utils := r.PeakEE()
 			for _, u := range utils {
 				row.Counts[roundLevel(u)]++
 				row.Spots++
 			}
 		}
-		out = append(out, row)
-	}
-	return out
+		return row
+	})
 }
 
 // PeakShiftShares aggregates peak-spot shares over a year interval,
@@ -323,7 +354,7 @@ func PeakShiftShares(rp *dataset.Repository, from, to int) map[float64]float64 {
 	sub := rp.YearRange(from, to)
 	counts := make(map[float64]int)
 	for _, r := range sub.All() {
-		_, utils := r.MustCurve().PeakEE()
+		_, utils := r.PeakEE()
 		for _, u := range utils {
 			counts[roundLevel(u)]++
 		}
@@ -361,15 +392,14 @@ func MemoryPerCore(rp *dataset.Repository, minCount int) []MPCBucket {
 		}
 	}
 	sort.Float64s(keys)
-	out := make([]MPCBucket, 0, len(keys))
-	for _, k := range keys {
-		g := dataset.NewRepository(groups[k])
-		out = append(out, MPCBucket{
+	return par.Map(len(keys), func(i int) MPCBucket {
+		k := keys[i]
+		eps, ees := metricSlices(groups[k])
+		return MPCBucket{
 			GBPerCore: k,
-			Count:     g.Len(),
-			MeanEP:    stats.MustMean(g.EPs()),
-			MeanEE:    stats.MustMean(g.OverallEEs()),
-		})
-	}
-	return out
+			Count:     len(groups[k]),
+			MeanEP:    stats.MustMean(eps),
+			MeanEE:    stats.MustMean(ees),
+		}
+	})
 }

@@ -2,11 +2,22 @@ package analysis
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/dataset"
 	"repro/internal/stats"
 )
+
+// firstCurveError returns the memoized curve error of the first invalid
+// result in repository order, or nil when every curve is valid — the
+// same error a sequential curve-building loop would surface first.
+func firstCurveError(rp *dataset.Repository) error {
+	for _, r := range rp.All() {
+		if _, err := r.Curve(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
 
 // Correlations quantifies the metric relationships the paper reports
 // (§I, §III.D, §IV) across the repository.
@@ -27,28 +38,23 @@ type Correlations struct {
 	N                int
 }
 
-// ComputeCorrelations evaluates all pairwise correlations.
+// ComputeCorrelations evaluates all pairwise correlations. The metric
+// vectors come from the repository's precomputed columns; no curves are
+// rebuilt on the warm path.
 func ComputeCorrelations(rp *dataset.Repository) (Correlations, error) {
-	n := rp.Len()
-	eps := make([]float64, 0, n)
-	ees := make([]float64, 0, n)
-	idles := make([]float64, 0, n)
-	drs := make([]float64, 0, n)
-	offsets := make([]float64, 0, n)
-	ratios := make([]float64, 0, n)
-	for _, r := range rp.All() {
-		c, err := r.Curve()
-		if err != nil {
-			return Correlations{}, fmt.Errorf("analysis: correlations: %w", err)
-		}
-		eps = append(eps, c.EP())
-		ees = append(ees, c.OverallEE())
-		idles = append(idles, c.IdleFraction())
-		drs = append(drs, c.DynamicRange())
-		offsets = append(offsets, c.PeakEEOffset())
-		ratios = append(ratios, c.PeakOverFullRatio())
+	if err := firstCurveError(rp); err != nil {
+		return Correlations{}, fmt.Errorf("analysis: correlations: %w", err)
 	}
-	out := Correlations{N: n}
+	eps := rp.EPs()
+	ees := rp.OverallEEs()
+	idles := rp.IdleFractions()
+	drs := rp.DynamicRanges()
+	ratios := rp.PeakOverFullRatios()
+	offsets := rp.PeakEEUtilizations()
+	for i, u := range offsets {
+		offsets[i] = 1 - u // PeakEEOffset = 1 − peak-efficiency utilization
+	}
+	out := Correlations{N: rp.Len()}
 	var err error
 	if out.EPvsOverallEE, err = stats.Pearson(eps, ees); err != nil {
 		return Correlations{}, err
@@ -83,17 +89,11 @@ type IdleRegression struct {
 
 // FitIdleRegression computes Eq. 2 over the repository.
 func FitIdleRegression(rp *dataset.Repository) (IdleRegression, error) {
-	n := rp.Len()
-	eps := make([]float64, 0, n)
-	idles := make([]float64, 0, n)
-	for _, r := range rp.All() {
-		c, err := r.Curve()
-		if err != nil {
-			return IdleRegression{}, fmt.Errorf("analysis: idle regression: %w", err)
-		}
-		eps = append(eps, c.EP())
-		idles = append(idles, c.IdleFraction())
+	if err := firstCurveError(rp); err != nil {
+		return IdleRegression{}, fmt.Errorf("analysis: idle regression: %w", err)
 	}
+	eps := rp.EPs()
+	idles := rp.IdleFractions()
 	fit, err := stats.ExponentialRegression(idles, eps)
 	if err != nil {
 		return IdleRegression{}, fmt.Errorf("analysis: idle regression: %w", err)
@@ -155,8 +155,7 @@ func Asynchronization(rp *dataset.Repository) AsyncStats {
 	}
 	out.TopEPFrom2012 = float64(ep2012) / float64(topN)
 
-	byEE := rp.All()
-	sort.SliceStable(byEE, func(i, j int) bool { return byEE[i].OverallEE() < byEE[j].OverallEE() })
+	byEE := rp.SortByOverallEE()
 	topEE := byEE[len(byEE)-topN:]
 	ee2012, late, overlap := 0, 0, 0
 	for _, r := range topEE {

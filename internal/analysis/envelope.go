@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/par"
 )
 
 // Envelope is the band containing every server's normalized curve —
@@ -38,6 +39,15 @@ func EEEnvelope(rp *dataset.Repository) Envelope {
 	return envelope(rp, func(c *core.Curve) []float64 { return c.NormalizedEE() })
 }
 
+// envelopePartial is one worker's reduction over a contiguous slice of
+// the repository: per-level extrema plus the extreme-EP servers seen.
+type envelopePartial struct {
+	lower, upper     []float64
+	minEP, maxEP     float64
+	lowerID, upperID string
+	haveMin, haveMax bool
+}
+
 func envelope(rp *dataset.Repository, series func(*core.Curve) []float64) Envelope {
 	env := Envelope{
 		Utilizations: append([]float64(nil), core.StandardUtilizations...),
@@ -50,23 +60,56 @@ func envelope(rp *dataset.Repository, series func(*core.Curve) []float64) Envelo
 		env.Lower[i] = math.Inf(1)
 		env.Upper[i] = math.Inf(-1)
 	}
+
+	// Fan out contiguous chunks, then merge the partial envelopes in
+	// chunk order: min/max are associative and ties on EP resolve to the
+	// first result in repository order, exactly as the sequential loop
+	// with strict comparisons did.
+	results := rp.All()
+	chunks := par.Chunks(len(results))
+	partials := par.Map(len(chunks), func(ci int) envelopePartial {
+		p := envelopePartial{
+			lower: make([]float64, grid),
+			upper: make([]float64, grid),
+			minEP: math.Inf(1),
+			maxEP: math.Inf(-1),
+		}
+		for i := range p.lower {
+			p.lower[i] = math.Inf(1)
+			p.upper[i] = math.Inf(-1)
+		}
+		for _, r := range results[chunks[ci].Lo:chunks[ci].Hi] {
+			c := r.MustCurve()
+			vals := series(c)
+			if len(vals) != grid {
+				continue // non-standard grid; cannot participate in the band
+			}
+			for i, v := range vals {
+				p.lower[i] = math.Min(p.lower[i], v)
+				p.upper[i] = math.Max(p.upper[i], v)
+			}
+			ep := r.EP()
+			if ep < p.minEP {
+				p.minEP, p.upperID, p.haveMin = ep, r.ID, true
+			}
+			if ep > p.maxEP {
+				p.maxEP, p.lowerID, p.haveMax = ep, r.ID, true
+			}
+		}
+		return p
+	})
+
 	minEP, maxEP := math.Inf(1), math.Inf(-1)
-	for _, r := range rp.All() {
-		c := r.MustCurve()
-		vals := series(c)
-		if len(vals) != grid {
-			continue // non-standard grid; cannot participate in the band
+	for _, p := range partials {
+		for i := range env.Lower {
+			env.Lower[i] = math.Min(env.Lower[i], p.lower[i])
+			env.Upper[i] = math.Max(env.Upper[i], p.upper[i])
 		}
-		for i, v := range vals {
-			env.Lower[i] = math.Min(env.Lower[i], v)
-			env.Upper[i] = math.Max(env.Upper[i], v)
+		if p.haveMin && p.minEP < minEP {
+			minEP, env.UpperID, env.UpperEP = p.minEP, p.upperID, p.minEP
 		}
-		ep := c.EP()
-		if ep < minEP {
-			minEP, env.UpperID, env.UpperEP = ep, r.ID, ep
-		}
-		if ep > maxEP {
-			maxEP, env.LowerID, env.LowerEP = ep, r.ID, ep
+		if p.haveMax && p.maxEP > maxEP {
+			maxEP, env.LowerID, env.LowerEP = p.maxEP, p.lowerID, p.maxEP
 		}
 	}
 	return env

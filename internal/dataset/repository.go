@@ -2,15 +2,38 @@ package dataset
 
 import (
 	"sort"
+	"sync"
 
 	"repro/internal/microarch"
+	"repro/internal/par"
 )
 
 // Repository is an in-memory collection of results with the filtering
 // and grouping operations the analyses use. It stores pointers; callers
 // must not mutate results after adding them.
+//
+// The repository precomputes per-metric columns (EP, overall EE, peak
+// EE and its utilization, idle fraction, dynamic range) on first use;
+// EPs, OverallEEs, SortByEP, and the column accessors then read cached
+// float slices instead of rebuilding curves. Add invalidates the
+// columns; concurrent readers are safe, concurrent mutation is not.
 type Repository struct {
 	results []*Result
+
+	mu   sync.Mutex
+	cols *columns
+}
+
+// columns holds the precomputed metric slices, index-aligned with the
+// repository's result order.
+type columns struct {
+	eps          []float64
+	ees          []float64
+	peakEEs      []float64
+	peakEEUtils  []float64
+	idleFracs    []float64
+	dynRanges    []float64
+	peakOverFull []float64
 }
 
 // NewRepository builds a repository over the given results.
@@ -18,9 +41,58 @@ func NewRepository(results []*Result) *Repository {
 	return &Repository{results: append([]*Result(nil), results...)}
 }
 
-// Add appends results.
+// Add appends results and invalidates the precomputed metric columns.
 func (rp *Repository) Add(results ...*Result) {
 	rp.results = append(rp.results, results...)
+	rp.mu.Lock()
+	rp.cols = nil
+	rp.mu.Unlock()
+}
+
+// metricColumns returns the precomputed columns, building them on first
+// use. The cold build fans out across CPUs: each result's curve and
+// metric bundle is computed once, in parallel, and every later call is
+// a cache read.
+func (rp *Repository) metricColumns() *columns {
+	rp.mu.Lock()
+	defer rp.mu.Unlock()
+	if rp.cols == nil {
+		n := len(rp.results)
+		c := &columns{
+			eps:          make([]float64, n),
+			ees:          make([]float64, n),
+			peakEEs:      make([]float64, n),
+			peakEEUtils:  make([]float64, n),
+			idleFracs:    make([]float64, n),
+			dynRanges:    make([]float64, n),
+			peakOverFull: make([]float64, n),
+		}
+		par.ForEach(n, func(i int) {
+			r := rp.results[i]
+			m := r.cached()
+			c.eps[i] = m.ep
+			c.ees[i] = m.overallEE
+			c.peakEEs[i] = m.peakEE
+			c.peakEEUtils[i] = r.PeakEEUtilization()
+			c.idleFracs[i] = m.idleFraction
+			c.dynRanges[i] = m.dynamicRange
+			c.peakOverFull[i] = m.peakOverFull
+		})
+		rp.cols = c
+	}
+	return rp.cols
+}
+
+// Precompute eagerly builds the metric columns (and thereby every
+// result's memoized metric bundle) in parallel. It is never required —
+// the columns build themselves on first use — but lets callers pay the
+// cold cost up front, e.g. before serving queries.
+func (rp *Repository) Precompute() {
+	rp.metricColumns()
+}
+
+func copyColumn(col []float64) []float64 {
+	return append([]float64(nil), col...)
 }
 
 // Len returns the number of stored results.
@@ -32,14 +104,31 @@ func (rp *Repository) All() []*Result {
 }
 
 // Valid returns a repository containing only compliant results — the
-// paper's 517 → 477 step.
+// paper's 517 → 477 step. Validation builds each result's curve, so the
+// check fans out across CPUs; repository order is preserved.
 func (rp *Repository) Valid() *Repository {
-	return rp.Filter(IsCompliant)
+	return rp.filterParallel(func(ok bool) bool { return ok })
 }
 
 // NonCompliant returns the results that fail validation.
 func (rp *Repository) NonCompliant() *Repository {
-	return rp.Filter(func(r *Result) bool { return !IsCompliant(r) })
+	return rp.filterParallel(func(ok bool) bool { return !ok })
+}
+
+// filterParallel keeps the results whose compliance verdict satisfies
+// keep. IsCompliant is a pure function of the result, so the verdicts
+// can be computed in parallel; the sequential pass then preserves order.
+func (rp *Repository) filterParallel(keep func(compliant bool) bool) *Repository {
+	verdicts := par.Map(len(rp.results), func(i int) bool {
+		return IsCompliant(rp.results[i])
+	})
+	out := make([]*Result, 0, len(rp.results))
+	for i, r := range rp.results {
+		if keep(verdicts[i]) {
+			out = append(out, r)
+		}
+	}
+	return &Repository{results: out}
 }
 
 // Filter returns a repository of the results for which keep returns true.
@@ -135,29 +224,73 @@ func (rp *Repository) HWYears() []int {
 }
 
 // EPs returns the energy proportionality of every result, in repository
-// order.
+// order. The values come from the precomputed metric columns; only the
+// returned slice is freshly allocated.
 func (rp *Repository) EPs() []float64 {
-	out := make([]float64, len(rp.results))
-	for i, r := range rp.results {
-		out[i] = r.EP()
-	}
-	return out
+	return copyColumn(rp.metricColumns().eps)
 }
 
 // OverallEEs returns the SPECpower score of every result, in repository
 // order.
 func (rp *Repository) OverallEEs() []float64 {
-	out := make([]float64, len(rp.results))
-	for i, r := range rp.results {
-		out[i] = r.OverallEE()
-	}
-	return out
+	return copyColumn(rp.metricColumns().ees)
+}
+
+// PeakEEs returns every result's peak energy efficiency, in repository
+// order.
+func (rp *Repository) PeakEEs() []float64 {
+	return copyColumn(rp.metricColumns().peakEEs)
+}
+
+// PeakEEUtilizations returns, for every result in repository order, the
+// lowest utilization at which its peak efficiency occurs.
+func (rp *Repository) PeakEEUtilizations() []float64 {
+	return copyColumn(rp.metricColumns().peakEEUtils)
+}
+
+// IdleFractions returns every result's idle-to-peak power ratio, in
+// repository order.
+func (rp *Repository) IdleFractions() []float64 {
+	return copyColumn(rp.metricColumns().idleFracs)
+}
+
+// DynamicRanges returns every result's normalized power swing, in
+// repository order.
+func (rp *Repository) DynamicRanges() []float64 {
+	return copyColumn(rp.metricColumns().dynRanges)
+}
+
+// PeakOverFullRatios returns every result's peak-over-full-load
+// efficiency ratio, in repository order.
+func (rp *Repository) PeakOverFullRatios() []float64 {
+	return copyColumn(rp.metricColumns().peakOverFull)
 }
 
 // SortByEP returns the results sorted by ascending EP (stable, copy).
+// The sort compares precomputed keys, so it costs O(n log n) float
+// comparisons rather than O(n log n) curve rebuilds.
 func (rp *Repository) SortByEP() []*Result {
-	out := rp.All()
-	sort.SliceStable(out, func(i, j int) bool { return out[i].EP() < out[j].EP() })
+	return rp.sortByKey(rp.metricColumns().eps)
+}
+
+// SortByOverallEE returns the results sorted by ascending SPECpower
+// score (stable, copy).
+func (rp *Repository) SortByOverallEE() []*Result {
+	return rp.sortByKey(rp.metricColumns().ees)
+}
+
+// sortByKey stable-sorts a copy of the results by the given column,
+// which must be index-aligned with rp.results.
+func (rp *Repository) sortByKey(keys []float64) []*Result {
+	idx := make([]int, len(rp.results))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return keys[idx[a]] < keys[idx[b]] })
+	out := make([]*Result, len(idx))
+	for i, j := range idx {
+		out[i] = rp.results[j]
+	}
 	return out
 }
 

@@ -1,0 +1,160 @@
+// Package par provides a bounded, GOMAXPROCS-aware worker pool for the
+// corpus-wide analyses: ordered fan-out over an index range with
+// deterministic error propagation. Results land at their input index, so
+// a parallel map produces exactly the slice the sequential loop would
+// have, regardless of scheduling; the first error (by index) wins, so
+// error messages do not depend on goroutine interleaving either.
+//
+// On a single-core machine (or for a single item) the helpers run the
+// function inline on the calling goroutine — no goroutines, no channel
+// traffic — so parallelizing a hot loop never makes it slower.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers returns the number of workers the pool uses for n items:
+// min(n, GOMAXPROCS), and at least 1.
+func Workers(n int) int {
+	w := runtime.GOMAXPROCS(0)
+	if n < w {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// ForEach runs fn(i) for every i in [0, n) across up to GOMAXPROCS
+// workers and returns when all calls have completed. fn must be safe to
+// call concurrently; writes to distinct slice elements indexed by i are
+// fine. A panic inside fn is re-raised on the calling goroutine (for
+// concurrent panics, the one at the lowest index wins).
+func ForEach(n int, fn func(int)) {
+	run(n, Workers(n), fn)
+}
+
+// ForEachErr is ForEach for functions that can fail. All indices run to
+// completion; the returned error is the one from the lowest failing
+// index, matching what a sequential loop that collected the first error
+// would report.
+func ForEachErr(n int, fn func(int) error) error {
+	errs := make([]error, n)
+	ForEach(n, func(i int) { errs[i] = fn(i) })
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Map applies fn to every index in [0, n) in parallel and returns the
+// results in input order.
+func Map[T any](n int, fn func(int) T) []T {
+	out := make([]T, n)
+	ForEach(n, func(i int) { out[i] = fn(i) })
+	return out
+}
+
+// MapErr is Map for functions that can fail. On error it returns a nil
+// slice and the error from the lowest failing index.
+func MapErr[T any](n int, fn func(int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := ForEachErr(n, func(i int) error {
+		v, err := fn(i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Range is a contiguous half-open index interval [Lo, Hi).
+type Range struct {
+	Lo, Hi int
+}
+
+// Chunks splits [0, n) into at most Workers(n) contiguous ranges of
+// near-equal size, in ascending order. Use it when a reduction needs
+// per-worker partial state merged deterministically afterwards (merge in
+// slice order and the result matches the sequential reduction).
+func Chunks(n int) []Range {
+	w := Workers(n)
+	if n <= 0 {
+		return nil
+	}
+	out := make([]Range, 0, w)
+	size, rem := n/w, n%w
+	lo := 0
+	for i := 0; i < w; i++ {
+		hi := lo + size
+		if i < rem {
+			hi++
+		}
+		if hi > lo {
+			out = append(out, Range{Lo: lo, Hi: hi})
+		}
+		lo = hi
+	}
+	return out
+}
+
+// run distributes indices to the given number of workers. It is split
+// from the exported helpers so tests can pin the worker count.
+func run(n, workers int, fn func(int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 1 || n == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var (
+		next    atomic.Int64
+		wg      sync.WaitGroup
+		panicMu sync.Mutex
+		panicAt = -1
+		panicV  any
+	)
+	worker := func() {
+		defer wg.Done()
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= n {
+				return
+			}
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						panicMu.Lock()
+						if panicAt < 0 || i < panicAt {
+							panicAt, panicV = i, r
+						}
+						panicMu.Unlock()
+					}
+				}()
+				fn(i)
+			}()
+		}
+	}
+	wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go worker()
+	}
+	wg.Wait()
+	if panicAt >= 0 {
+		panic(panicV)
+	}
+}

@@ -1,0 +1,140 @@
+package par
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapOrdered(t *testing.T) {
+	got := Map(100, func(i int) int { return i * i })
+	if len(got) != 100 {
+		t.Fatalf("len = %d, want 100", len(got))
+	}
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	if got := Map(0, func(i int) int { return i }); len(got) != 0 {
+		t.Fatalf("Map(0) returned %v", got)
+	}
+	ForEach(0, func(int) { t.Fatal("fn called for n=0") })
+}
+
+func TestForEachErrFirstIndexWins(t *testing.T) {
+	// Every odd index fails; the reported error must be index 1's
+	// regardless of scheduling.
+	for trial := 0; trial < 20; trial++ {
+		err := ForEachErr(64, func(i int) error {
+			if i%2 == 1 {
+				return fmt.Errorf("fail at %d", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "fail at 1" {
+			t.Fatalf("trial %d: err = %v, want fail at 1", trial, err)
+		}
+	}
+}
+
+func TestMapErr(t *testing.T) {
+	sentinel := errors.New("boom")
+	out, err := MapErr(10, func(i int) (int, error) {
+		if i == 7 {
+			return 0, sentinel
+		}
+		return i, nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want %v", err, sentinel)
+	}
+	if out != nil {
+		t.Fatalf("out = %v, want nil on error", out)
+	}
+	out, err = MapErr(10, func(i int) (int, error) { return 2 * i, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != 2*i {
+			t.Fatalf("out[%d] = %d, want %d", i, v, 2*i)
+		}
+	}
+}
+
+func TestRunCoversAllIndicesAtEveryWidth(t *testing.T) {
+	for workers := 1; workers <= 8; workers++ {
+		var hits [257]atomic.Int32
+		run(257, workers, func(i int) { hits[i].Add(1) })
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestRunBoundsConcurrency(t *testing.T) {
+	const workers = 4
+	var inFlight, peak atomic.Int32
+	run(200, workers, func(int) {
+		cur := inFlight.Add(1)
+		for {
+			p := peak.Load()
+			if cur <= p || peak.CompareAndSwap(p, cur) {
+				break
+			}
+		}
+		inFlight.Add(-1)
+	})
+	if got := peak.Load(); got > workers {
+		t.Fatalf("observed %d concurrent calls, bound is %d", got, workers)
+	}
+}
+
+func TestPanicPropagatesLowestIndex(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r != "panic at 3" {
+			t.Fatalf("recovered %v, want panic at 3", r)
+		}
+	}()
+	run(64, 4, func(i int) {
+		if i == 3 || i == 40 {
+			panic(fmt.Sprintf("panic at %d", i))
+		}
+	})
+	t.Fatal("run returned without panicking")
+}
+
+func TestChunksPartition(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 3, 7, 16, 477} {
+		chunks := Chunks(n)
+		covered := 0
+		prev := 0
+		for _, c := range chunks {
+			if c.Lo != prev || c.Hi <= c.Lo {
+				t.Fatalf("n=%d: bad chunk %+v after %d", n, c, prev)
+			}
+			covered += c.Hi - c.Lo
+			prev = c.Hi
+		}
+		if covered != n || (n > 0 && prev != n) {
+			t.Fatalf("n=%d: chunks %v cover %d", n, chunks, covered)
+		}
+	}
+}
+
+func TestWorkersFloor(t *testing.T) {
+	if Workers(0) != 1 {
+		t.Fatalf("Workers(0) = %d, want 1", Workers(0))
+	}
+	if w := Workers(1); w != 1 {
+		t.Fatalf("Workers(1) = %d, want 1", w)
+	}
+}

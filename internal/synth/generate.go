@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/dataset"
 	"repro/internal/microarch"
+	"repro/internal/par"
 )
 
 // Config controls generation. The zero value is valid and produces the
@@ -37,9 +38,10 @@ func GenerateValid(cfg Config) ([]*dataset.Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	verdicts := par.Map(len(all), func(i int) bool { return dataset.IsCompliant(all[i]) })
 	out := make([]*dataset.Result, 0, ValidCount)
-	for _, r := range all {
-		if dataset.IsCompliant(r) {
+	for i, r := range all {
+		if verdicts[i] {
 			out = append(out, r)
 		}
 	}
@@ -82,14 +84,24 @@ func (g *generator) validResults() ([]*dataset.Result, error) {
 	g.assignAnchors(blueprints)
 	g.assignSpots(blueprints)
 
-	results := make([]*dataset.Result, 0, len(blueprints))
-	for _, bp := range blueprints {
-		r, err := g.buildResult(bp)
+	// Stage 1 (sequential): consume the seeded rng for every submission
+	// in exactly the order the fully sequential generator did, so the
+	// corpus stays byte-identical regardless of worker count.
+	draws := make([]resultDraws, len(blueprints))
+	for i, bp := range blueprints {
+		d, err := g.drawResult(bp)
 		if err != nil {
 			return nil, err
 		}
-		results = append(results, r)
+		draws[i] = d
 	}
+	// Stage 2 (parallel): pure curve materialization, fanned out across
+	// CPUs. Metric caches stay cold here — the repository warms them in
+	// parallel on first analysis — so generation never pays for metrics
+	// the caller may not read.
+	results := par.Map(len(blueprints), func(i int) *dataset.Result {
+		return materializeResult(blueprints[i], draws[i])
+	})
 	g.assignPublishedYears(results)
 	return results, nil
 }
@@ -456,86 +468,150 @@ var cpuModels = map[microarch.Codename][]string{
 	microarch.UnknownCodename: {"RISC 1200", "Custom CPU"},
 }
 
-func (g *generator) buildResult(bp *blueprint) (*dataset.Result, error) {
-	var curve normCurve
+// resultDraws captures every rng-dependent choice for one submission,
+// made in exactly the order the single-pass builder consumed the seeded
+// stream. Splitting the draws from the arithmetic lets curve
+// materialization fan out across CPUs while the corpus stays
+// byte-identical to the sequential build.
+type resultDraws struct {
+	seq       int
+	curve     normCurve
+	eeTarget  float64
+	peakRand  float64
+	jitterOn  bool
+	jitters   [9]float64
+	vendor    string
+	series    string
+	seriesNum int
+	form      dataset.FormFactor
+	pubQ      int
+	hwQ       int
+	cpuModel  string
+	ghz       float64
+	jvm       string
+	os        string
+}
+
+// drawResult performs the sequential stage: every rng consumption for
+// one submission, nothing else. Conditional draws (anchored curves,
+// exact-ops jitter, 2016 availability quarters) stay conditional so the
+// stream position after each submission matches the original builder.
+func (g *generator) drawResult(bp *blueprint) (resultDraws, error) {
+	var d resultDraws
 	if bp.anchor != nil {
-		curve = bp.anchor.curve
+		d.curve = bp.anchor.curve
 		if bp.anchor.ep > 0 {
-			curve = blendToEP(curve, bp.anchor.ep)
+			d.curve = blendToEP(d.curve, bp.anchor.ep)
 		}
 	} else {
-		curve = solveCurve(g.rng, bp.epTarget, bp.spot)
+		d.curve = solveCurve(g.rng, bp.epTarget, bp.spot)
 	}
-	if !curve.monotone() {
-		return nil, fmt.Errorf("synth: non-monotone curve for %d/%v EP %.3f", bp.year, bp.code, bp.epTarget)
+	if !d.curve.monotone() {
+		return d, fmt.Errorf("synth: non-monotone curve for %d/%v EP %.3f", bp.year, bp.code, bp.epTarget)
 	}
 
-	eeTarget := g.sampleOverallEE(bp)
+	d.eeTarget = g.sampleOverallEE(bp)
 	if bp.anchor != nil && bp.anchor.overallEE > 0 {
-		eeTarget = bp.anchor.overallEE
+		d.eeTarget = bp.anchor.overallEE
 	}
 
+	d.peakRand = g.rng.Float64()
+	d.jitterOn = bp.anchor == nil || !bp.anchor.exactOps
+	if d.jitterOn {
+		for i := range d.jitters {
+			d.jitters[i] = clamp(0.002*g.rng.NormFloat64(), -0.004, 0.004)
+		}
+	}
+
+	g.seq++
+	d.seq = g.seq
+	models := cpuModels[bp.code]
+	d.vendor = vendors[g.rng.Intn(len(vendors))]
+	d.series = systemSeries[g.rng.Intn(len(systemSeries))]
+	d.seriesNum = 100 + g.rng.Intn(900)
+	d.form = g.sampleFormFactor(bp)
+	d.pubQ = 1 + g.rng.Intn(4)
+	d.hwQ = 1 + g.rng.Intn(4)
+	d.cpuModel = models[g.rng.Intn(len(models))]
+	d.ghz = g.sampleGHz(bp.code)
+	d.jvm = jvms[g.rng.Intn(len(jvms))]
+	d.os = oses[g.rng.Intn(len(oses))]
+	if bp.year == 2016 {
+		d.hwQ = 1 + g.rng.Intn(3) // the corpus ends at 2016Q3
+	}
+	return d, nil
+}
+
+// materializeResult is the pure stage: it turns a blueprint plus its
+// recorded draws into a Result without touching the rng, so it is safe
+// to run concurrently for many submissions.
+func materializeResult(bp *blueprint, d resultDraws) *dataset.Result {
 	// Peak power scales with the installed hardware.
-	peakWatts := 30 + float64(bp.chips)*(55+35*g.rng.Float64()) +
+	peakWatts := 30 + float64(bp.chips)*(55+35*d.peakRand) +
 		bp.mpc*float64(bp.chips*bp.coresPerChip)*0.35 +
 		float64(bp.nodes)*25
 	// Overall EE = EE100 · Σu / (Σp + idle) with Σu = 5.5 over the ten
 	// levels; solve EE100 so the target lands exactly (pre-jitter).
 	var sumP float64
-	for _, p := range curve.levels {
+	for _, p := range d.curve.levels {
 		sumP += p
 	}
-	ee100 := eeTarget * (sumP + curve.idle) / 5.5
+	ee100 := d.eeTarget * (sumP + d.curve.idle) / 5.5
 	ops100 := ee100 * peakWatts
 
 	levels := make([]dataset.LoadLevel, 10)
 	for i, u := range levelGrid {
 		jitter := 0.0
-		if i < 9 && (bp.anchor == nil || !bp.anchor.exactOps) {
-			jitter = clamp(0.002*g.rng.NormFloat64(), -0.004, 0.004)
+		if i < 9 && d.jitterOn {
+			jitter = d.jitters[i]
 		}
 		actual := u * (1 + jitter)
 		levels[i] = dataset.LoadLevel{
 			TargetLoad:    u,
 			ActualLoad:    actual,
 			OpsPerSec:     ops100 * actual,
-			AvgPowerWatts: curve.levels[i] * peakWatts,
+			AvgPowerWatts: d.curve.levels[i] * peakWatts,
 		}
 	}
 
-	g.seq++
-	models := cpuModels[bp.code]
-	vendor := vendors[g.rng.Intn(len(vendors))]
 	r := &dataset.Result{
-		ID:               fmt.Sprintf("power_ssj2008-%04d", g.seq),
-		Vendor:           vendor,
-		System:           fmt.Sprintf("%s %s%d", vendor, systemSeries[g.rng.Intn(len(systemSeries))], 100+g.rng.Intn(900)),
-		FormFactor:       g.sampleFormFactor(bp),
+		ID:               fmt.Sprintf("power_ssj2008-%04d", d.seq),
+		Vendor:           d.vendor,
+		System:           fmt.Sprintf("%s %s%d", d.vendor, d.series, d.seriesNum),
+		FormFactor:       d.form,
 		PublishedYear:    bp.year, // adjusted later for mismatches
-		PublishedQuarter: 1 + g.rng.Intn(4),
+		PublishedQuarter: d.pubQ,
 		HWAvailYear:      bp.year,
-		HWAvailQuarter:   1 + g.rng.Intn(4),
+		HWAvailQuarter:   d.hwQ,
 		Nodes:            bp.nodes,
 		Chips:            bp.chips,
 		CoresPerChip:     bp.coresPerChip,
-		CPUModel:         models[g.rng.Intn(len(models))],
+		CPUModel:         d.cpuModel,
 		Codename:         bp.code,
-		NominalGHz:       g.sampleGHz(bp.code),
+		NominalGHz:       d.ghz,
 		MemoryGB:         bp.mpc * float64(bp.chips*bp.coresPerChip),
-		JVM:              jvms[g.rng.Intn(len(jvms))],
-		OS:               oses[g.rng.Intn(len(oses))],
-		ActiveIdleWatts:  curve.idle * peakWatts,
+		JVM:              d.jvm,
+		OS:               d.os,
+		ActiveIdleWatts:  d.curve.idle * peakWatts,
 		Levels:           levels,
-	}
-	if bp.year == 2016 {
-		r.HWAvailQuarter = 1 + g.rng.Intn(3) // the corpus ends at 2016Q3
 	}
 	if bp.anchor != nil && bp.anchor.label == "tower-i5-2014" {
 		r.FormFactor = dataset.FormTower
 		r.CPUModel = "Intel Core i5-4570"
 		r.NominalGHz = 3.2
 	}
-	return r, nil
+	return r
+}
+
+// buildResult composes the two stages sequentially. The non-compliant
+// path uses it directly because those results are mutated after
+// construction, which must happen before any metric access.
+func (g *generator) buildResult(bp *blueprint) (*dataset.Result, error) {
+	d, err := g.drawResult(bp)
+	if err != nil {
+		return nil, err
+	}
+	return materializeResult(bp, d), nil
 }
 
 var systemSeries = []string{"ProServ ", "PowerRack ", "System x", "Primergy ", "ThinkSystem ", "Express "}
