@@ -598,3 +598,34 @@ func BenchmarkExtWorkloadInterval(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkFullReportWarm times report.Full — sweeps included — over a
+// pre-generated (cache-warm) corpus: the steady-state cost of
+// regenerating the paper's whole evaluation section.
+func BenchmarkFullReportWarm(b *testing.B) {
+	rp := benchCorpus(b)
+	opts := report.Options{Sweeps: true, SweepSeconds: 20, Seed: 1}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := report.Full(rp, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFullReportCold includes corpus generation and first-touch
+// cache fills — the specreport end-to-end cost.
+func BenchmarkFullReportCold(b *testing.B) {
+	opts := report.Options{Sweeps: true, SweepSeconds: 20, Seed: 1}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rp, err := synth.NewRepository(synth.Config{Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := report.Full(rp.Valid(), opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"text/tabwriter"
 
 	"repro/internal/bench"
+	"repro/internal/par"
 	"repro/internal/power"
 	"repro/internal/report"
 )
@@ -42,9 +43,13 @@ func run(args []string, stdout, stderr io.Writer) error {
 		repeatN  = fs.Int("repeat", 0, "with -single: run N times and report run-to-run repeatability")
 		fidelity = fs.String("fidelity", "fast", "simulation fidelity for -single: fast or tx (transaction-level with latency)")
 		nodes    = fs.Int("nodes", 1, "with -single: run N identical nodes as a multi-node test")
+		workers  = fs.Int("workers", 0, "max parallel workers for sweep cells and repeats (0 = all cores); output is identical at any count")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *workers > 0 {
+		defer par.SetMaxWorkers(par.SetMaxWorkers(*workers))
 	}
 	servers := power.TableIIServers()
 	if *serverNo < 1 || *serverNo > len(servers) {
@@ -66,7 +71,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 		return runSingle(stdout, srv, *governor, *memoryGB, *seed, *interval, fid, *nodes)
 	}
-	pts, err := sweep(srv, *seed, *interval)
+	pts, err := bench.SweepWith(srv, bench.PaperMemoryConfigs(srv), bench.AllFrequencyGovernors(srv),
+		bench.SweepOptions{Seed: *seed, IntervalSeconds: *interval})
 	if err != nil {
 		return err
 	}
@@ -76,46 +82,6 @@ func run(args []string, stdout, stderr io.Writer) error {
 		fmt.Fprintln(stdout, report.Fig21PowerAndEE(pts))
 	}
 	return nil
-}
-
-func sweep(srv power.ServerConfig, seed int64, interval int) ([]bench.SweepPoint, error) {
-	mems := bench.PaperMemoryConfigs(srv)
-	govs := bench.AllFrequencyGovernors(srv)
-	out := make([]bench.SweepPoint, 0, len(mems)*len(govs))
-	for mi, mem := range mems {
-		cfg, err := srv.WithMemory(mem.TotalGB, mem.DIMMSizeGB)
-		if err != nil {
-			return nil, err
-		}
-		for gi, gov := range govs {
-			runner, err := bench.NewRunner(bench.Config{
-				Server:          cfg,
-				Governor:        gov,
-				Seed:            seed + int64(mi)*1009 + int64(gi)*9176,
-				IntervalSeconds: interval,
-			})
-			if err != nil {
-				return nil, err
-			}
-			res, err := runner.Run()
-			if err != nil {
-				return nil, err
-			}
-			peakEE, atLoad := res.PeakEE()
-			out = append(out, bench.SweepPoint{
-				Server:         cfg.Name,
-				MemoryGB:       mem.TotalGB,
-				MemoryPerCore:  float64(mem.TotalGB) / float64(cfg.TotalCores()),
-				Governor:       gov.Name(),
-				BusyFreqGHz:    res.BusyFreqGHz,
-				OverallEE:      res.OverallEE(),
-				PeakEE:         peakEE,
-				PeakEEAtLoad:   atLoad,
-				PeakPowerWatts: res.PeakPowerWatts(),
-			})
-		}
-	}
-	return out, nil
 }
 
 // runRepeat reports the run-to-run repeatability of one configuration.

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	specreport [-seed N] [-in FILE] [-no-sweeps] [-sweep-seconds S] [-out FILE]
+//	specreport [-seed N] [-in FILE] [-no-sweeps] [-sweep-seconds S] [-workers N] [-out FILE]
 package main
 
 import (
@@ -16,6 +16,7 @@ import (
 	"strings"
 
 	"repro/internal/dataset"
+	"repro/internal/par"
 	"repro/internal/report"
 	"repro/internal/synth"
 )
@@ -37,9 +38,13 @@ func run(args []string, stdout, stderr io.Writer) error {
 		sweepSec = fs.Int("sweep-seconds", 30, "simulated measurement interval for sweeps (SPEC default 240)")
 		format   = fs.String("format", "text", "output format: text or html (html embeds SVG figures)")
 		out      = fs.String("out", "", "output file (default stdout)")
+		workers  = fs.Int("workers", 0, "max parallel workers for sections and sweep cells (0 = all cores); output is identical at any count")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *workers > 0 {
+		defer par.SetMaxWorkers(par.SetMaxWorkers(*workers))
 	}
 
 	var (

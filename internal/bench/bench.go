@@ -220,6 +220,9 @@ func (r *Result) PeakPowerWatts() float64 {
 type Runner struct {
 	cfg Config
 	rng *rand.Rand
+	// sim holds the transaction simulator's scratch buffers, reused
+	// across the run's intervals under FidelityTransaction.
+	sim *workload.Sim
 }
 
 // NewRunner validates the configuration and builds a Runner.
@@ -322,7 +325,10 @@ func (rn *Runner) measureInterval(capacity, targetRate, calibrated, freq float64
 // over the interval's one-second samples.
 func (rn *Runner) measureTransactionInterval(capacity, targetRate, calibrated, freq float64) Interval {
 	seconds := rn.cfg.intervalSeconds()
-	m, err := workload.Simulate(workload.Config{
+	if rn.sim == nil {
+		rn.sim = workload.NewSim()
+	}
+	m, err := rn.sim.Simulate(workload.Config{
 		Seed:              rn.rng.Int63(),
 		CapacityOpsPerSec: capacity,
 		TargetRate:        targetRate,

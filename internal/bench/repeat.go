@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"repro/internal/par"
 	"repro/internal/stats"
 )
 
@@ -22,24 +23,29 @@ type Repeatability struct {
 }
 
 // Repeat executes the configuration n times with derived seeds and
-// summarizes the score distribution.
+// summarizes the score distribution. The repetitions are independent
+// (each derives its own seed from its index), so they fan out over the
+// internal/par pool; scores land in run order, keeping the summary
+// identical at any worker count.
 func Repeat(cfg Config, n int) (Repeatability, error) {
 	if n < 2 {
 		return Repeatability{}, fmt.Errorf("bench: repeat needs at least 2 runs, got %d", n)
 	}
-	scores := make([]float64, 0, n)
-	for i := 0; i < n; i++ {
+	scores, err := par.MapErr(n, func(i int) (float64, error) {
 		runCfg := cfg
 		runCfg.Seed = cfg.Seed + int64(i)*7919
 		runner, err := NewRunner(runCfg)
 		if err != nil {
-			return Repeatability{}, err
+			return 0, err
 		}
 		res, err := runner.Run()
 		if err != nil {
-			return Repeatability{}, err
+			return 0, err
 		}
-		scores = append(scores, res.OverallEE())
+		return res.OverallEE(), nil
+	})
+	if err != nil {
+		return Repeatability{}, err
 	}
 	sum, err := stats.Describe(scores)
 	if err != nil {

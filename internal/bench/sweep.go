@@ -3,6 +3,7 @@ package bench
 import (
 	"fmt"
 
+	"repro/internal/par"
 	"repro/internal/power"
 )
 
@@ -34,44 +35,64 @@ type MemoryConfig struct {
 	DIMMSizeGB int
 }
 
+// SweepOptions tune a sweep beyond its seed.
+type SweepOptions struct {
+	// Seed is re-derived per cell so individual cells are reproducible
+	// regardless of sweep order.
+	Seed int64
+	// IntervalSeconds shortens each simulated measurement interval
+	// (0 = the benchmark default of 240 s).
+	IntervalSeconds int
+}
+
 // Sweep runs the benchmark for every memory configuration × governor
-// combination, in order. The seed is re-derived per cell so individual
-// cells are reproducible regardless of sweep order.
+// combination and returns the cells in memory-major order.
 func Sweep(srv power.ServerConfig, mems []MemoryConfig, govs []power.Governor, seed int64) ([]SweepPoint, error) {
-	out := make([]SweepPoint, 0, len(mems)*len(govs))
+	return SweepWith(srv, mems, govs, SweepOptions{Seed: seed})
+}
+
+// SweepWith is Sweep with explicit options. Cells are mutually
+// independent — each re-derives its own seed from its grid position —
+// so they fan out over the internal/par worker pool; results land at
+// their grid index, making the output identical at any worker count.
+func SweepWith(srv power.ServerConfig, mems []MemoryConfig, govs []power.Governor, opts SweepOptions) ([]SweepPoint, error) {
+	cfgs := make([]power.ServerConfig, len(mems))
 	for mi, mem := range mems {
 		cfg, err := srv.WithMemory(mem.TotalGB, mem.DIMMSizeGB)
 		if err != nil {
 			return nil, fmt.Errorf("bench: sweep memory %d GB: %w", mem.TotalGB, err)
 		}
-		for gi, gov := range govs {
-			runner, err := NewRunner(Config{
-				Server:   cfg,
-				Governor: gov,
-				Seed:     seed + int64(mi)*1009 + int64(gi)*9176,
-			})
-			if err != nil {
-				return nil, fmt.Errorf("bench: sweep %s %s: %w", cfg.Name, gov.Name(), err)
-			}
-			res, err := runner.Run()
-			if err != nil {
-				return nil, fmt.Errorf("bench: sweep %s %s: %w", cfg.Name, gov.Name(), err)
-			}
-			peakEE, atLoad := res.PeakEE()
-			out = append(out, SweepPoint{
-				Server:         cfg.Name,
-				MemoryGB:       mem.TotalGB,
-				MemoryPerCore:  float64(mem.TotalGB) / float64(cfg.TotalCores()),
-				Governor:       gov.Name(),
-				BusyFreqGHz:    res.BusyFreqGHz,
-				OverallEE:      res.OverallEE(),
-				PeakEE:         peakEE,
-				PeakEEAtLoad:   atLoad,
-				PeakPowerWatts: res.PeakPowerWatts(),
-			})
-		}
+		cfgs[mi] = cfg
 	}
-	return out, nil
+	return par.MapErr(len(mems)*len(govs), func(i int) (SweepPoint, error) {
+		mi, gi := i/len(govs), i%len(govs)
+		cfg, mem, gov := cfgs[mi], mems[mi], govs[gi]
+		runner, err := NewRunner(Config{
+			Server:          cfg,
+			Governor:        gov,
+			Seed:            opts.Seed + int64(mi)*1009 + int64(gi)*9176,
+			IntervalSeconds: opts.IntervalSeconds,
+		})
+		if err != nil {
+			return SweepPoint{}, fmt.Errorf("bench: sweep %s %s: %w", cfg.Name, gov.Name(), err)
+		}
+		res, err := runner.Run()
+		if err != nil {
+			return SweepPoint{}, fmt.Errorf("bench: sweep %s %s: %w", cfg.Name, gov.Name(), err)
+		}
+		peakEE, atLoad := res.PeakEE()
+		return SweepPoint{
+			Server:         cfg.Name,
+			MemoryGB:       mem.TotalGB,
+			MemoryPerCore:  float64(mem.TotalGB) / float64(cfg.TotalCores()),
+			Governor:       gov.Name(),
+			BusyFreqGHz:    res.BusyFreqGHz,
+			OverallEE:      res.OverallEE(),
+			PeakEE:         peakEE,
+			PeakEEAtLoad:   atLoad,
+			PeakPowerWatts: res.PeakPowerWatts(),
+		}, nil
+	})
 }
 
 // AllFrequencyGovernors returns a userspace governor per P-state of the

@@ -1,0 +1,131 @@
+package bench
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/par"
+	"repro/internal/power"
+)
+
+// TestSweepWorkerCountInvariant pins the determinism contract the
+// report pipeline relies on: every cell derives its own seed from its
+// grid position, so the sweep returns identical points no matter how
+// many workers execute the grid or in what order the cells finish.
+func TestSweepWorkerCountInvariant(t *testing.T) {
+	srv := power.Server4ThinkServerRD450()
+	mems := PaperMemoryConfigs(srv)
+	govs := AllFrequencyGovernors(srv)
+	opts := SweepOptions{Seed: 11, IntervalSeconds: 12}
+
+	defer par.SetMaxWorkers(0)
+	var runs [][]SweepPoint
+	for _, workers := range []int{1, 2, 8} {
+		par.SetMaxWorkers(workers)
+		pts, err := SweepWith(srv, mems, govs, opts)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(pts) != len(mems)*len(govs) {
+			t.Fatalf("workers=%d: %d points, want %d", workers, len(pts), len(mems)*len(govs))
+		}
+		runs = append(runs, pts)
+	}
+	for i := 1; i < len(runs); i++ {
+		if !reflect.DeepEqual(runs[0], runs[i]) {
+			t.Errorf("sweep results differ between worker counts (run 0 vs %d)", i)
+		}
+	}
+}
+
+// TestSweepWithMatchesPerCellRuns cross-checks the fan-out against
+// independent sequential runs of each cell's configuration.
+func TestSweepWithMatchesPerCellRuns(t *testing.T) {
+	srv := power.Server2SugonI620G10()
+	mems := PaperMemoryConfigs(srv)[:2]
+	govs := []power.Governor{power.UserSpace(1.2), power.OnDemand()}
+	opts := SweepOptions{Seed: 3, IntervalSeconds: 15}
+	pts, err := SweepWith(srv, mems, govs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for mi, mem := range mems {
+		for gi, gov := range govs {
+			cfg, err := srv.WithMemory(mem.TotalGB, mem.DIMMSizeGB)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rn, err := NewRunner(Config{
+				Server:          cfg,
+				Governor:        gov,
+				Seed:            opts.Seed + int64(mi)*1009 + int64(gi)*9176,
+				IntervalSeconds: opts.IntervalSeconds,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := rn.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := pts[mi*len(govs)+gi]
+			if got.OverallEE != res.OverallEE() || got.BusyFreqGHz != res.BusyFreqGHz {
+				t.Errorf("cell (%d,%d): sweep %+v != direct run EE %.3f", mi, gi, got, res.OverallEE())
+			}
+		}
+	}
+}
+
+// TestSweepErrorPrecedence: the fan-out reports the same error a
+// sequential loop would — the one at the lowest cell index.
+func TestSweepErrorPrecedence(t *testing.T) {
+	srv := power.Server4ThinkServerRD450()
+	mems := PaperMemoryConfigs(srv)
+	bad := power.Governor{} // invalid: no policy
+	if _, err := SweepWith(srv, mems, []power.Governor{bad, power.OnDemand()}, SweepOptions{Seed: 1}); err == nil {
+		t.Fatal("invalid governor accepted")
+	}
+	if _, err := SweepWith(srv, []MemoryConfig{{TotalGB: -1, DIMMSizeGB: 8}}, AllFrequencyGovernors(srv), SweepOptions{Seed: 1}); err == nil {
+		t.Fatal("invalid memory accepted")
+	}
+}
+
+// TestRepeatWorkerCountInvariant mirrors the sweep contract for the
+// repeatability harness: per-run derived seeds make the summary
+// independent of scheduling.
+func TestRepeatWorkerCountInvariant(t *testing.T) {
+	cfg := Config{
+		Server:          power.Server4ThinkServerRD450(),
+		Governor:        power.OnDemand(),
+		Seed:            5,
+		IntervalSeconds: 10,
+	}
+	defer par.SetMaxWorkers(0)
+	par.SetMaxWorkers(1)
+	serial, err := Repeat(cfg, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par.SetMaxWorkers(8)
+	parallel, err := Repeat(cfg, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial != parallel {
+		t.Errorf("repeat summary differs by worker count:\nserial   %+v\nparallel %+v", serial, parallel)
+	}
+}
+
+// BenchmarkSweep times the full Fig. 20 memory × governor sweep on
+// server #4 at a shortened interval.
+func BenchmarkSweep(b *testing.B) {
+	srv := power.Server4ThinkServerRD450()
+	mems := PaperMemoryConfigs(srv)
+	govs := AllFrequencyGovernors(srv)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Sweep(srv, mems, govs, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

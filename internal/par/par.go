@@ -16,10 +16,34 @@ import (
 	"sync/atomic"
 )
 
+// maxWorkers caps the pool size for every helper in the package; 0
+// selects the GOMAXPROCS default.
+var maxWorkers atomic.Int64
+
+// SetMaxWorkers caps the number of workers every helper may use; n <= 0
+// restores the GOMAXPROCS default. It returns the previous cap (0 for
+// the default) so callers can restore it. Because results always land
+// at their input index, output is identical at any setting — the cap
+// only changes scheduling.
+func SetMaxWorkers(n int) int {
+	if n < 0 {
+		n = 0
+	}
+	return int(maxWorkers.Swap(int64(n)))
+}
+
+// MaxWorkers reports the current cap (0 = GOMAXPROCS default).
+func MaxWorkers() int {
+	return int(maxWorkers.Load())
+}
+
 // Workers returns the number of workers the pool uses for n items:
-// min(n, GOMAXPROCS), and at least 1.
+// min(n, GOMAXPROCS, SetMaxWorkers cap), and at least 1.
 func Workers(n int) int {
 	w := runtime.GOMAXPROCS(0)
+	if limit := int(maxWorkers.Load()); limit > 0 && limit < w {
+		w = limit
+	}
 	if n < w {
 		w = n
 	}

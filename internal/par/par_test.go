@@ -138,3 +138,36 @@ func TestWorkersFloor(t *testing.T) {
 		t.Fatalf("Workers(1) = %d, want 1", w)
 	}
 }
+
+func TestSetMaxWorkersCapsPool(t *testing.T) {
+	defer SetMaxWorkers(0)
+	if prev := SetMaxWorkers(3); prev != 0 {
+		t.Fatalf("initial cap = %d, want 0", prev)
+	}
+	if MaxWorkers() != 3 {
+		t.Fatalf("MaxWorkers = %d, want 3", MaxWorkers())
+	}
+	if w := Workers(64); w > 3 {
+		t.Fatalf("Workers(64) = %d under cap 3", w)
+	}
+	// The cap only changes scheduling, never results.
+	capped := Map(100, func(i int) int { return i * i })
+	SetMaxWorkers(0)
+	uncapped := Map(100, func(i int) int { return i * i })
+	for i := range capped {
+		if capped[i] != uncapped[i] {
+			t.Fatalf("index %d: %d != %d", i, capped[i], uncapped[i])
+		}
+	}
+	// Restoring via the returned previous value round-trips.
+	prev := SetMaxWorkers(5)
+	SetMaxWorkers(prev)
+	if MaxWorkers() != 0 {
+		t.Fatalf("cap after restore = %d, want 0", MaxWorkers())
+	}
+	// Negative resets to the default rather than wedging the pool.
+	SetMaxWorkers(-7)
+	if MaxWorkers() != 0 {
+		t.Fatalf("negative cap stored: %d", MaxWorkers())
+	}
+}

@@ -3,9 +3,11 @@ package report
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"repro/internal/bench"
 	"repro/internal/dataset"
+	"repro/internal/par"
 	"repro/internal/placement"
 	"repro/internal/power"
 )
@@ -22,112 +24,94 @@ type Options struct {
 	Seed int64
 }
 
+// sectionFunc renders one section of the full report.
+type sectionFunc func() (string, error)
+
+// renderSections evaluates a section table across the internal/par
+// worker pool and joins the results in table order, appending suffix
+// after each section. Every section is independent (repository reads
+// are lock-free and cached; sweep cells derive per-cell seeds), so the
+// assembled output is byte-identical at any worker count — the same
+// contract the corpus analyses established in internal/par.
+func renderSections(secs []sectionFunc, suffix string) (string, error) {
+	parts, err := par.MapErr(len(secs), func(i int) (string, error) {
+		return secs[i]()
+	})
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	for _, p := range parts {
+		b.WriteString(p)
+		b.WriteString(suffix)
+	}
+	return b.String(), nil
+}
+
 // Full regenerates the paper's complete evaluation section: every
 // figure and table plus the headline statistics, in paper order.
+// Sections render concurrently; the declarative table below fixes the
+// assembly order.
 func Full(rp *dataset.Repository, opts Options) (string, error) {
-	var b strings.Builder
-	section := func(s string) {
-		b.WriteString(s)
-		b.WriteString("\n")
+	return renderSections(fullSections(rp, opts), "\n")
+}
+
+// fullSections is the declarative section table of the text report, in
+// paper order.
+func fullSections(rp *dataset.Repository, opts Options) []sectionFunc {
+	static := func(fn func(*dataset.Repository) string) sectionFunc {
+		return func() (string, error) { return fn(rp), nil }
 	}
+	var secs []sectionFunc
 
 	// Fig. 1 uses the paper's sample server: the 2016 result with
 	// overall score ≈ 12212 (EP 1.02); fall back to the highest-EP 2016
 	// server on foreign datasets.
-	sample := findSample(rp)
-	if sample != nil {
-		fig1, err := Fig1EPCurve(sample)
-		if err != nil {
-			return "", err
-		}
-		section(fig1)
+	if sample := findSample(rp); sample != nil {
+		secs = append(secs, func() (string, error) { return Fig1EPCurve(sample) })
 	}
-	fig2, err := Fig2Evolution(rp)
-	if err != nil {
-		return "", err
-	}
-	section(fig2)
-	fig3, err := Fig3EPTrend(rp)
-	if err != nil {
-		return "", err
-	}
-	section(fig3)
-	fig4, err := Fig4EETrend(rp)
-	if err != nil {
-		return "", err
-	}
-	section(fig4)
-	fig5, err := Fig5EPCDF(rp)
-	if err != nil {
-		return "", err
-	}
-	section(fig5)
-	section(Fig6Families(rp))
-	section(Fig7Codenames(rp))
-	section(Fig8MarchMix(rp))
-	section(Fig9PencilHead(rp))
-	section(Fig10SelectedEP(rp))
-	section(Fig11Almond(rp))
-	section(Fig12SelectedEE(rp))
-	section(Fig13Nodes(rp))
-	section(Fig14Chips(rp))
-	section(Fig15TwoChip(rp))
-	section(Fig16PeakShift(rp))
-	section(TableIMPC(rp))
-	section(Fig17MPC(rp))
-	section(TableIIServers())
-
-	stats, err := StatsSummary(rp)
-	if err != nil {
-		return "", err
-	}
-	section(stats)
+	secs = append(secs,
+		func() (string, error) { return Fig2Evolution(rp) },
+		func() (string, error) { return Fig3EPTrend(rp) },
+		func() (string, error) { return Fig4EETrend(rp) },
+		func() (string, error) { return Fig5EPCDF(rp) },
+		static(Fig6Families),
+		static(Fig7Codenames),
+		static(Fig8MarchMix),
+		static(Fig9PencilHead),
+		static(Fig10SelectedEP),
+		static(Fig11Almond),
+		static(Fig12SelectedEE),
+		static(Fig13Nodes),
+		static(Fig14Chips),
+		static(Fig15TwoChip),
+		static(Fig16PeakShift),
+		static(TableIMPC),
+		static(Fig17MPC),
+		func() (string, error) { return TableIIServers(), nil },
+		func() (string, error) { return StatsSummary(rp) },
+	)
 
 	// Extension figures (not in the paper): the low-utilization
 	// proportionality gap, cluster-wide EP by policy, and the Eq. 1
-	// quadrature ablation.
-	e1, err := FigE1GapTrend(rp)
-	if err != nil {
-		return "", err
-	}
-	section(e1)
+	// quadrature ablation. The placement-profile fleet is built once
+	// and shared with the cluster section.
+	secs = append(secs, func() (string, error) { return FigE1GapTrend(rp) })
 	if fleet := recentFleet(rp, 12); len(fleet) > 1 {
-		e2, err := FigE2ClusterPolicies(fleet)
-		if err != nil {
-			return "", err
-		}
-		section(e2)
+		secs = append(secs, func() (string, error) { return FigE2ClusterPolicies(fleet) })
 	}
-	e3, err := FigE3QuadratureAblation(rp)
-	if err != nil {
-		return "", err
-	}
-	section(e3)
-	e4, err := FigE4ImprovementRates(rp)
-	if err != nil {
-		return "", err
-	}
-	section(e4)
-	section(FigE5PowerBreakdown())
-	e6, err := FigE6Projection(rp)
-	if err != nil {
-		return "", err
-	}
-	section(e6)
-	e7, err := FigE7KnightShift(rp)
-	if err != nil {
-		return "", err
-	}
-	section(e7)
+	secs = append(secs,
+		func() (string, error) { return FigE3QuadratureAblation(rp) },
+		func() (string, error) { return FigE4ImprovementRates(rp) },
+		func() (string, error) { return FigE5PowerBreakdown(), nil },
+		func() (string, error) { return FigE6Projection(rp) },
+		func() (string, error) { return FigE7KnightShift(rp) },
+	)
 
 	if opts.Sweeps {
-		sweeps, err := HardwareExperiments(opts.Seed, opts.SweepSeconds)
-		if err != nil {
-			return "", err
-		}
-		section(sweeps)
+		secs = append(secs, sweepSections(opts.Seed, opts.SweepSeconds)...)
 	}
-	return b.String(), nil
+	return secs
 }
 
 // recentFleet profiles up to n recent servers for the cluster
@@ -171,81 +155,65 @@ func absF(v float64) float64 {
 	return v
 }
 
-// HardwareExperiments runs the §V.A/§V.B simulations on the Table II
-// servers and renders Fig. 18-21.
-func HardwareExperiments(seed int64, intervalSeconds int) (string, error) {
-	var b strings.Builder
+// sweepSections renders the §V.A/§V.B hardware experiments (Fig. 18-21)
+// on the Table II servers. Server #4's sweep feeds both Fig. 20 and
+// Fig. 21, so it is computed once and shared between the two sections.
+func sweepSections(seed int64, intervalSeconds int) []sectionFunc {
 	servers := power.TableIIServers()
 	titles := map[string]string{
 		servers[0].Name: "Fig.18 EE vs memory per core × frequency on #1 (Sugon A620r-G)",
 		servers[1].Name: "Fig.19 EE vs memory per core × frequency on #2 (Sugon I620-G10)",
 		servers[3].Name: "Fig.20 EE vs memory per core × frequency on #4 (ThinkServer RD450)",
 	}
-	for _, idx := range []int{0, 1, 3} {
-		srv := servers[idx]
-		pts, err := sweepServer(srv, seed, intervalSeconds)
-		if err != nil {
-			return "", err
+	sweepFig := func(srv power.ServerConfig, pts func() ([]bench.SweepPoint, error)) sectionFunc {
+		return func() (string, error) {
+			p, err := pts()
+			if err != nil {
+				return "", err
+			}
+			return SweepFigure(titles[srv.Name], p), nil
 		}
-		b.WriteString(SweepFigure(titles[srv.Name], pts))
-		b.WriteString("\n")
 	}
-	// Fig. 21 reuses server #4's sweep.
-	pts, err := sweepServer(servers[3], seed, intervalSeconds)
+	sweep4 := sharedSweep(servers[3], seed, intervalSeconds)
+	return []sectionFunc{
+		sweepFig(servers[0], sharedSweep(servers[0], seed, intervalSeconds)),
+		sweepFig(servers[1], sharedSweep(servers[1], seed, intervalSeconds)),
+		sweepFig(servers[3], sweep4),
+		func() (string, error) {
+			p, err := sweep4()
+			if err != nil {
+				return "", err
+			}
+			return Fig21PowerAndEE(p), nil
+		},
+	}
+}
+
+// HardwareExperiments runs the §V.A/§V.B simulations on the Table II
+// servers and renders Fig. 18-21.
+func HardwareExperiments(seed int64, intervalSeconds int) (string, error) {
+	secs := sweepSections(seed, intervalSeconds)
+	parts, err := par.MapErr(len(secs), func(i int) (string, error) {
+		return secs[i]()
+	})
 	if err != nil {
 		return "", err
 	}
-	b.WriteString(Fig21PowerAndEE(pts))
-	return b.String(), nil
+	return strings.Join(parts, "\n"), nil
 }
 
+// sharedSweep returns a lazy, memoized sweep of one server so multiple
+// sections (and figure/table pairs) reuse a single simulation pass.
+func sharedSweep(srv power.ServerConfig, seed int64, intervalSeconds int) func() ([]bench.SweepPoint, error) {
+	return sync.OnceValues(func() ([]bench.SweepPoint, error) {
+		return sweepServer(srv, seed, intervalSeconds)
+	})
+}
+
+// sweepServer runs the paper's memory × governor grid for one server.
 func sweepServer(srv power.ServerConfig, seed int64, intervalSeconds int) ([]bench.SweepPoint, error) {
-	mems := bench.PaperMemoryConfigs(srv)
-	govs := bench.AllFrequencyGovernors(srv)
-	if intervalSeconds > 0 {
-		return sweepWithInterval(srv, mems, govs, seed, intervalSeconds)
-	}
-	return bench.Sweep(srv, mems, govs, seed)
-}
-
-// sweepWithInterval mirrors bench.Sweep with shortened measurement
-// intervals for fast reporting.
-func sweepWithInterval(srv power.ServerConfig, mems []bench.MemoryConfig, govs []power.Governor, seed int64, seconds int) ([]bench.SweepPoint, error) {
-	out := make([]bench.SweepPoint, 0, len(mems)*len(govs))
-	for mi, mem := range mems {
-		cfg, err := srv.WithMemory(mem.TotalGB, mem.DIMMSizeGB)
-		if err != nil {
-			return nil, err
-		}
-		for gi, gov := range govs {
-			runner, err := bench.NewRunner(bench.Config{
-				Server:          cfg,
-				Governor:        gov,
-				Seed:            seed + int64(mi)*1009 + int64(gi)*9176,
-				IntervalSeconds: seconds,
-			})
-			if err != nil {
-				return nil, err
-			}
-			res, err := runner.Run()
-			if err != nil {
-				return nil, err
-			}
-			peakEE, atLoad := res.PeakEE()
-			out = append(out, bench.SweepPoint{
-				Server:         cfg.Name,
-				MemoryGB:       mem.TotalGB,
-				MemoryPerCore:  float64(mem.TotalGB) / float64(cfg.TotalCores()),
-				Governor:       gov.Name(),
-				BusyFreqGHz:    res.BusyFreqGHz,
-				OverallEE:      res.OverallEE(),
-				PeakEE:         peakEE,
-				PeakEEAtLoad:   atLoad,
-				PeakPowerWatts: res.PeakPowerWatts(),
-			})
-		}
-	}
-	return out, nil
+	return bench.SweepWith(srv, bench.PaperMemoryConfigs(srv), bench.AllFrequencyGovernors(srv),
+		bench.SweepOptions{Seed: seed, IntervalSeconds: intervalSeconds})
 }
 
 // Summary prints a one-paragraph corpus overview used by the CLIs.

@@ -1,6 +1,7 @@
 package report
 
 import (
+	"crypto/sha256"
 	"encoding/json"
 	"fmt"
 	"strings"
@@ -8,6 +9,7 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/dataset"
+	"repro/internal/par"
 	"repro/internal/placement"
 	"repro/internal/power"
 	"repro/internal/synth"
@@ -412,6 +414,85 @@ func TestExtensionFigureE7(t *testing.T) {
 	for _, want := range []string{"Fig.E7", "2009", "2016", "primary off"} {
 		if !strings.Contains(e7, want) {
 			t.Errorf("E7 missing %q:\n%s", want, e7)
+		}
+	}
+}
+
+// TestFullReportGolden guards the determinism contract of the parallel
+// section pipeline: the full report — sweeps included — at seed 1 over
+// the default corpus is byte-identical at every worker count and
+// matches a committed digest. If an intentional output change breaks
+// this, regenerate the digest with:
+//
+//	specreport -seed 1 -sweep-seconds 5 | sha256sum
+const fullReportSeed1Digest = "729965030dd6af82b1961a7aa82e9de9e17f92c68463ef308c426a85aef4f278"
+
+func TestFullReportGolden(t *testing.T) {
+	rp := validCorpus(t)
+	opts := Options{Sweeps: true, SweepSeconds: 5, Seed: 1}
+
+	defer par.SetMaxWorkers(0)
+	var outs []string
+	for _, workers := range []int{1, 2, 8} {
+		par.SetMaxWorkers(workers)
+		out, err := Full(rp, opts)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		outs = append(outs, out)
+	}
+	for i := 1; i < len(outs); i++ {
+		if outs[i] != outs[0] {
+			t.Errorf("report differs between worker counts 1 and %d", []int{1, 2, 8}[i])
+		}
+	}
+	if got := fmt.Sprintf("%x", sha256.Sum256([]byte(outs[0]))); got != fullReportSeed1Digest {
+		t.Errorf("report digest = %s, want %s (output drifted)", got, fullReportSeed1Digest)
+	}
+}
+
+// TestFullHTMLWorkerInvariant extends the same guarantee to the HTML
+// pipeline.
+func TestFullHTMLWorkerInvariant(t *testing.T) {
+	rp := validCorpus(t)
+	opts := Options{Sweeps: true, SweepSeconds: 5, Seed: 3}
+	defer par.SetMaxWorkers(0)
+	par.SetMaxWorkers(1)
+	serial, err := FullHTML(rp, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par.SetMaxWorkers(8)
+	parallel, err := FullHTML(rp, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial != parallel {
+		t.Error("HTML report differs between worker counts")
+	}
+}
+
+// TestHardwareExperimentsSharedSweep checks Fig. 20 and Fig. 21 render
+// from one shared server #4 sweep and stay consistent with a direct
+// sweep of the same grid.
+func TestHardwareExperimentsSharedSweep(t *testing.T) {
+	out, err := HardwareExperiments(2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := power.TableIIServers()[3]
+	pts, err := bench.SweepWith(srv, bench.PaperMemoryConfigs(srv), bench.AllFrequencyGovernors(srv),
+		bench.SweepOptions{Seed: 2, IntervalSeconds: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Fig21PowerAndEE(pts)
+	if !strings.Contains(out, want) {
+		t.Error("Fig.21 does not match server #4's sweep")
+	}
+	for _, fig := range []string{"Fig.18", "Fig.19", "Fig.20", "Fig.21"} {
+		if !strings.Contains(out, fig) {
+			t.Errorf("hardware experiments missing %s", fig)
 		}
 	}
 }

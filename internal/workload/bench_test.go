@@ -1,0 +1,62 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkSimulate times one transaction-level measurement interval at
+// moderate load — the inner loop of every FidelityTransaction bench
+// cell.
+func BenchmarkSimulate(b *testing.B) {
+	cfg := Config{
+		Seed:              7,
+		CapacityOpsPerSec: 2e5,
+		TargetRate:        1.4e5,
+		DurationSeconds:   30,
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Simulate(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulateReuse is BenchmarkSimulate with one Sim held across
+// intervals, the way internal/bench drives it: scratch buffers are
+// allocated once.
+func BenchmarkSimulateReuse(b *testing.B) {
+	cfg := Config{
+		Seed:              7,
+		CapacityOpsPerSec: 2e5,
+		TargetRate:        1.4e5,
+		DurationSeconds:   30,
+	}
+	sim := NewSim()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Simulate(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReservoirPercentiles times percentile queries against a full
+// reservoir — the regression guard for the sort-once cache (the old
+// recorder copied and re-sorted all samples on every call).
+func BenchmarkReservoirPercentiles(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	r := newReservoir(4096, rng)
+	for i := 0; i < 8192; i++ {
+		r.add(rng.Float64())
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p50, _, _ := r.percentiles()
+		if p50 <= 0 {
+			b.Fatal("bad percentile")
+		}
+	}
+}

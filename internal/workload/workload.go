@@ -55,9 +55,13 @@ func (t TxType) String() string {
 	}
 }
 
+// allTxTypes is the fixed type universe; kept as an array so hot loops
+// can index per-type state without map traffic.
+var allTxTypes = [...]TxType{NewOrder, Payment, OrderStatus, Delivery, StockLevel, CustomerReport}
+
 // AllTxTypes lists the transaction types.
 func AllTxTypes() []TxType {
-	return []TxType{NewOrder, Payment, OrderStatus, Delivery, StockLevel, CustomerReport}
+	return append([]TxType(nil), allTxTypes[:]...)
 }
 
 // Mix maps transaction types to their share of the workload.
@@ -76,8 +80,10 @@ func DefaultMix() Mix {
 }
 
 // workUnits is the relative processing cost per transaction type,
-// normalized so the default mix averages 1.0 work unit.
-var workUnits = map[TxType]float64{
+// normalized so the default mix averages 1.0 work unit. Indexed by
+// TxType value so the batch-compose loop stays off the map hash path;
+// unknown types cost zero, matching the old map's missing-key behavior.
+var workUnits = [len(allTxTypes) + 1]float64{
 	NewOrder:       1.20,
 	Payment:        0.85,
 	OrderStatus:    0.45,
@@ -86,11 +92,19 @@ var workUnits = map[TxType]float64{
 	CustomerReport: 1.12,
 }
 
+// work returns the transaction type's relative processing cost.
+func (t TxType) work() float64 {
+	if t < 1 || int(t) >= len(workUnits) {
+		return 0
+	}
+	return workUnits[t]
+}
+
 // MeanWorkUnits returns the mix's average work units per transaction.
 func (m Mix) MeanWorkUnits() float64 {
 	var total, weight float64
 	for tx, share := range m {
-		total += share * workUnits[tx]
+		total += share * tx.work()
 		weight += share
 	}
 	if weight == 0 {
@@ -158,8 +172,32 @@ type Metrics struct {
 	TxCounts map[TxType]float64
 }
 
-// Simulate runs one measurement interval.
+// Sim carries reusable simulation scratch — the latency reservoir's
+// sample and sorted buffers and the cumulative-mix table — so a caller
+// running many intervals (internal/bench runs 13+ per benchmark pass)
+// pays the buffer allocations once instead of per interval. A Sim is
+// not safe for concurrent use; give each goroutine its own.
+type Sim struct {
+	res reservoir
+	cum []float64
+}
+
+// NewSim returns an empty scratch holder; buffers grow on first use.
+func NewSim() *Sim {
+	return &Sim{}
+}
+
+// Simulate runs one measurement interval. It is shorthand for
+// NewSim().Simulate(cfg); loops over intervals should hold a Sim and
+// reuse it.
 func Simulate(cfg Config) (Metrics, error) {
+	return NewSim().Simulate(cfg)
+}
+
+// Simulate runs one measurement interval, reusing the Sim's scratch
+// buffers. Identical configurations produce identical metrics whether
+// the Sim is fresh or reused.
+func (s *Sim) Simulate(cfg Config) (Metrics, error) {
 	if cfg.CapacityOpsPerSec <= 0 {
 		return Metrics{}, fmt.Errorf("workload: capacity %v", cfg.CapacityOpsPerSec)
 	}
@@ -192,9 +230,13 @@ func Simulate(cfg Config) (Metrics, error) {
 		return m, nil // active idle: no arrivals, no busy time
 	}
 
-	// Cumulative mix table for sampling batch composition.
-	types := AllTxTypes()
-	cum := make([]float64, len(types))
+	// Cumulative mix table for sampling batch composition, built into
+	// the reusable scratch slice.
+	types := allTxTypes
+	if cap(s.cum) < len(types) {
+		s.cum = make([]float64, len(types))
+	}
+	cum := s.cum[:len(types)]
 	var acc float64
 	for i, tx := range types {
 		acc += mix[tx]
@@ -221,13 +263,24 @@ func Simulate(cfg Config) (Metrics, error) {
 	batchRate := cfg.TargetRate / float64(batch)
 	meanWork := mix.MeanWorkUnits()
 
+	// Size the latency reservoir's first allocation from the expected
+	// batch count instead of always reserving the full window.
+	expected := cfg.DurationSeconds * cfg.CapacityOpsPerSec / float64(batch)
+	if !closedLoop {
+		expected = batchRate * cfg.DurationSeconds
+	}
+	s.res.reset(rng, reservoirSize, int(expected)+1)
+
 	var (
 		clock      float64 // arrival clock
 		serverFree float64
 		busy       float64
-		latencyRes = newReservoir(4096, rng)
 		totalWait  float64
 		nowArrival float64
+		// Per-batch and per-interval completion tallies, indexed by
+		// TxType (1..6): fixed arrays instead of a map per batch keep
+		// the compose loop allocation-free and off the map hash path.
+		counts, totals [len(allTxTypes) + 1]int
 	)
 	for {
 		if closedLoop {
@@ -243,11 +296,11 @@ func Simulate(cfg Config) (Metrics, error) {
 		}
 		// Compose the batch.
 		var work float64
-		counts := make(map[TxType]int, len(types))
+		counts = [len(allTxTypes) + 1]int{}
 		for i := 0; i < batch; i++ {
 			tx := sampleType()
 			counts[tx]++
-			work += workUnits[tx]
+			work += workUnits[tx] // tx comes from allTxTypes: always in range
 		}
 		service := work / meanWork / cfg.CapacityOpsPerSec * serviceNoise()
 		start := math.Max(nowArrival, serverFree)
@@ -263,35 +316,76 @@ func Simulate(cfg Config) (Metrics, error) {
 		m.OfferedTx += float64(batch)
 		m.CompletedTx += float64(batch)
 		for tx, n := range counts {
-			m.TxCounts[tx] += float64(n)
+			totals[tx] += n
 		}
 		lat := complete - nowArrival
 		totalWait += lat
-		latencyRes.add(lat)
+		s.res.add(lat)
+	}
+	for tx, n := range totals {
+		if n > 0 {
+			m.TxCounts[TxType(tx)] = float64(n)
+		}
 	}
 	m.OpsPerSec = m.CompletedTx / cfg.DurationSeconds
 	m.BusyFraction = math.Min(1, busy/cfg.DurationSeconds)
 	if n := m.CompletedTx / float64(batch); n > 0 {
 		m.MeanLatency = totalWait / n
 	}
-	m.LatencyP50, m.LatencyP95, m.LatencyP99 = latencyRes.percentiles()
+	m.LatencyP50, m.LatencyP95, m.LatencyP99 = s.res.percentiles()
 	return m, nil
 }
 
-// reservoir is a fixed-size uniform sample of latencies.
+// reservoirSize is the uniform-sample window of the latency recorder.
+const reservoirSize = 4096
+
+// reservoir is a fixed-size uniform sample of latencies with a cached
+// sorted view: percentile queries sort once after the last append and
+// reuse the sorted buffer until the next append invalidates it (the old
+// recorder copied and re-sorted every sample on every query).
 type reservoir struct {
 	samples []float64
-	seen    int
-	rng     *rand.Rand
+	// sorted is the cached ascending copy of samples; valid while
+	// !dirty. Both buffers survive reset so repeated intervals reuse
+	// them.
+	sorted []float64
+	dirty  bool
+	max    int
+	seen   int
+	rng    *rand.Rand
 }
 
 func newReservoir(size int, rng *rand.Rand) *reservoir {
-	return &reservoir{samples: make([]float64, 0, size), rng: rng}
+	r := &reservoir{}
+	r.reset(rng, size, size)
+	return r
+}
+
+// reset prepares the reservoir for a new interval, keeping the backing
+// buffers. max bounds the sample window; hint sizes the first
+// allocation (clamped to max) so short intervals don't reserve the full
+// window.
+func (r *reservoir) reset(rng *rand.Rand, max, hint int) {
+	if hint > max {
+		hint = max
+	}
+	if hint < 0 {
+		hint = 0
+	}
+	if cap(r.samples) < hint {
+		r.samples = make([]float64, 0, hint)
+	}
+	r.samples = r.samples[:0]
+	r.dirty = true
+	r.max = max
+	r.seen = 0
+	r.rng = rng
 }
 
 func (r *reservoir) add(v float64) {
 	r.seen++
-	if len(r.samples) < cap(r.samples) {
+	r.dirty = true
+	if len(r.samples) < r.max {
 		r.samples = append(r.samples, v)
 		return
 	}
@@ -300,17 +394,32 @@ func (r *reservoir) add(v float64) {
 	}
 }
 
+// sortedView returns the samples in ascending order, sorting only when
+// an append invalidated the cache.
+func (r *reservoir) sortedView() []float64 {
+	if r.dirty {
+		r.sorted = append(r.sorted[:0], r.samples...)
+		sort.Float64s(r.sorted)
+		r.dirty = false
+	}
+	return r.sorted
+}
+
+// percentile returns the q-quantile (0 ≤ q ≤ 1) by the same
+// nearest-rank rule the recorder has always used.
+func (r *reservoir) percentile(q float64) float64 {
+	sorted := r.sortedView()
+	if len(sorted) == 0 {
+		return 0
+	}
+	return sorted[int(q*float64(len(sorted)-1))]
+}
+
 func (r *reservoir) percentiles() (p50, p95, p99 float64) {
 	if len(r.samples) == 0 {
 		return 0, 0, 0
 	}
-	sorted := append([]float64(nil), r.samples...)
-	sort.Float64s(sorted)
-	at := func(q float64) float64 {
-		i := int(q * float64(len(sorted)-1))
-		return sorted[i]
-	}
-	return at(0.50), at(0.95), at(0.99)
+	return r.percentile(0.50), r.percentile(0.95), r.percentile(0.99)
 }
 
 // MaxRateUnderSLA finds, by bisection, the highest sustainable arrival
@@ -322,10 +431,11 @@ func MaxRateUnderSLA(cfg Config, slaP99Seconds float64) (float64, error) {
 	if slaP99Seconds <= 0 {
 		return 0, fmt.Errorf("workload: SLA %v", slaP99Seconds)
 	}
+	sim := NewSim() // one scratch across all bisection probes
 	probe := func(rate float64) (float64, error) {
 		c := cfg
 		c.TargetRate = rate
-		m, err := Simulate(c)
+		m, err := sim.Simulate(c)
 		if err != nil {
 			return 0, err
 		}

@@ -2,6 +2,9 @@ package workload
 
 import (
 	"math"
+	"math/rand"
+	"reflect"
+	"sort"
 	"testing"
 )
 
@@ -274,5 +277,84 @@ func TestMaxRateUnderSLA(t *testing.T) {
 	}
 	if _, err := MaxRateUnderSLA(cfg, 0); err == nil {
 		t.Error("zero SLA accepted")
+	}
+}
+
+func TestReservoirCacheInvalidation(t *testing.T) {
+	// The sorted view must be recomputed after every append, never
+	// served stale.
+	rng := rand.New(rand.NewSource(1))
+	r := newReservoir(8, rng)
+	r.add(3)
+	r.add(1)
+	if got := r.percentile(0); got != 1 {
+		t.Fatalf("min = %v, want 1", got)
+	}
+	if got := r.percentile(1); got != 3 {
+		t.Fatalf("max = %v, want 3", got)
+	}
+	r.add(0.5) // invalidates the cached view
+	if got := r.percentile(0); got != 0.5 {
+		t.Fatalf("min after append = %v, want 0.5", got)
+	}
+	// Percentiles must match a naive copy-and-sort of the samples.
+	for i := 0; i < 100; i++ {
+		r.add(rng.Float64() * 10)
+	}
+	naive := append([]float64(nil), r.samples...)
+	sort.Float64s(naive)
+	for _, q := range []float64{0, 0.25, 0.5, 0.95, 0.99, 1} {
+		want := naive[int(q*float64(len(naive)-1))]
+		if got := r.percentile(q); got != want {
+			t.Errorf("percentile(%v) = %v, want %v", q, got, want)
+		}
+	}
+}
+
+func TestReservoirResetKeepsBuffers(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	r := newReservoir(16, rng)
+	for i := 0; i < 40; i++ {
+		r.add(float64(i))
+	}
+	if len(r.samples) != 16 || r.seen != 40 {
+		t.Fatalf("window = %d seen = %d", len(r.samples), r.seen)
+	}
+	buf := &r.samples[0]
+	r.reset(rng, 16, 16)
+	if len(r.samples) != 0 || r.seen != 0 {
+		t.Fatal("reset did not clear state")
+	}
+	r.add(7)
+	if &r.samples[0] != buf {
+		t.Error("reset reallocated the sample buffer")
+	}
+	if p50, _, _ := r.percentiles(); p50 != 7 {
+		t.Errorf("p50 after reset = %v", p50)
+	}
+}
+
+func TestSimReuseMatchesFresh(t *testing.T) {
+	// A reused Sim must produce byte-identical metrics to fresh
+	// Simulate calls, across differing interval shapes.
+	cfgs := []Config{
+		{Seed: 21, CapacityOpsPerSec: 1e5, TargetRate: 6e4, DurationSeconds: 20},
+		{Seed: 22, CapacityOpsPerSec: 2e5, TargetRate: math.Inf(1), DurationSeconds: 10},
+		{Seed: 23, CapacityOpsPerSec: 5e4, TargetRate: 0, DurationSeconds: 20},
+		{Seed: 21, CapacityOpsPerSec: 1e5, TargetRate: 6e4, DurationSeconds: 20},
+	}
+	sim := NewSim()
+	for i, cfg := range cfgs {
+		fresh, err := Simulate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reused, err := sim.Simulate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(fresh, reused) {
+			t.Errorf("cfg %d: reused Sim diverged:\nfresh  %+v\nreused %+v", i, fresh, reused)
+		}
 	}
 }
