@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build vet test race bench report report-html verify examples clean
+.PHONY: all check build vet test race bench report report-html verify serve selftest examples clean
 
 all: check
 
@@ -37,6 +37,14 @@ report-html:
 # Check the synthetic corpus against every paper target.
 verify:
 	$(GO) run ./cmd/specgen -verify -q
+
+# Serve the report/figures/metrics over HTTP from the snapshot cache.
+serve:
+	$(GO) run ./cmd/specserved
+
+# End-to-end API smoke check + load benchmark over a loopback listener.
+selftest:
+	$(GO) run ./cmd/specserved -selftest -no-sweeps
 
 examples:
 	$(GO) run ./examples/quickstart

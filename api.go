@@ -11,6 +11,7 @@ import (
 	"repro/internal/placement"
 	"repro/internal/power"
 	"repro/internal/report"
+	"repro/internal/serve"
 	"repro/internal/synth"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -240,6 +241,36 @@ type ReportOptions = report.Options
 
 // FullReport regenerates the paper's complete evaluation section.
 func FullReport(rp *Repository, opts ReportOptions) (string, error) { return report.Full(rp, opts) }
+
+// FigureIDs lists the selectors of the figure registry — every figure
+// and table of the paper addressable by its number ("1".."17", "t1",
+// "t2") plus the extension analyses ("e1", "e3".."e7").
+func FigureIDs() []string { return report.FigureIDs() }
+
+// Figure renders one registered figure as its terminal-chart form.
+func Figure(rp *Repository, id string) (string, error) { return report.Figure(rp, id) }
+
+// FigureSVG renders one registered figure as standalone SVG; figures
+// without a chart form return an error wrapping report.ErrNoSVG.
+func FigureSVG(rp *Repository, id string) (string, error) { return report.FigureSVG(rp, id) }
+
+// Snapshot-cached HTTP serving (internal/serve).
+type (
+	// ServeConfig configures the snapshot-cached HTTP server.
+	ServeConfig = serve.Config
+	// ServeSnapshot is one immutable served corpus generation:
+	// repository, validated subset, seed, report options, and the
+	// byte-level response cache rendered from them.
+	ServeSnapshot = serve.Snapshot
+)
+
+// NewServer builds the HTTP server behind cmd/specserved: the report,
+// every figure, the EP/EE/correlation metrics and the corpus listing,
+// served from an immutable snapshot with coalesced renders, ETag
+// revalidation and pre-compressed gzip variants. Plug
+// srv.Handler() into http.ListenAndServe; srv.Reload atomically swaps
+// in a new corpus seed without blocking readers.
+func NewServer(cfg ServeConfig) (*serve.Server, error) { return serve.New(cfg) }
 
 // Cluster-wide proportionality (internal/cluster).
 type (

@@ -11,12 +11,12 @@
 package main
 
 import (
-	"flag"
 	"fmt"
 	"io"
 	"os"
 	"strings"
 
+	"repro/internal/cli"
 	"repro/internal/dataset"
 	"repro/internal/report"
 	"repro/internal/synth"
@@ -30,8 +30,9 @@ func main() {
 }
 
 func run(args []string, stdout, stderr io.Writer) error {
-	fs := flag.NewFlagSet("specanalyze", flag.ContinueOnError)
-	fs.SetOutput(stderr)
+	fs := cli.New("specanalyze",
+		"[-in FILE] [-seed N] [-fig LIST] [-stats] [-json]",
+		"runs the paper's analyses over a SPECpower dataset and prints the requested figures and tables", stderr)
 	var (
 		in        = fs.String("in", "", "dataset file (.csv or .json); empty generates the synthetic corpus")
 		seed      = fs.Int64("seed", 1, "seed for the synthetic corpus when -in is empty")
@@ -40,7 +41,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		show      = fs.String("show", "", "print one result as a SPEC-style disclosure and exit")
 		asJSON    = fs.Bool("json", false, "emit every analysis as machine-readable JSON and exit")
 	)
-	if err := fs.Parse(args); err != nil {
+	if done, err := cli.Parse(fs, args, stdout); done || err != nil {
 		return err
 	}
 

@@ -10,7 +10,6 @@
 package main
 
 import (
-	"flag"
 	"fmt"
 	"io"
 	"os"
@@ -18,6 +17,7 @@ import (
 	"text/tabwriter"
 
 	"repro/internal/bench"
+	"repro/internal/cli"
 	"repro/internal/par"
 	"repro/internal/power"
 	"repro/internal/report"
@@ -31,8 +31,9 @@ func main() {
 }
 
 func run(args []string, stdout, stderr io.Writer) error {
-	fs := flag.NewFlagSet("specbench", flag.ContinueOnError)
-	fs.SetOutput(stderr)
+	fs := cli.New("specbench",
+		"[-server 1-4] [-seed N] [-single] [-governor G] [-memory GB] [-repeat N]",
+		"runs the simulated SPECpower_ssj2008 benchmark on a modeled server: one run or the full memory x frequency sweep", stderr)
 	var (
 		serverNo = fs.Int("server", 4, "Table II server to test (1-4)")
 		seed     = fs.Int64("seed", 1, "simulation seed")
@@ -45,7 +46,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		nodes    = fs.Int("nodes", 1, "with -single: run N identical nodes as a multi-node test")
 		workers  = fs.Int("workers", 0, "max parallel workers for sweep cells and repeats (0 = all cores); output is identical at any count")
 	)
-	if err := fs.Parse(args); err != nil {
+	if done, err := cli.Parse(fs, args, stdout); done || err != nil {
 		return err
 	}
 	if *workers > 0 {

@@ -7,12 +7,12 @@
 package main
 
 import (
-	"flag"
 	"fmt"
 	"io"
 	"os"
 	"text/tabwriter"
 
+	"repro/internal/cli"
 	"repro/internal/dataset"
 	"repro/internal/report"
 	"repro/internal/synth"
@@ -50,8 +50,9 @@ func runVerify(rp *dataset.Repository, w io.Writer) error {
 }
 
 func run(args []string, stdout, stderr io.Writer) error {
-	fs := flag.NewFlagSet("specgen", flag.ContinueOnError)
-	fs.SetOutput(stderr)
+	fs := cli.New("specgen",
+		"[-seed N] [-format csv|json] [-valid-only] [-out FILE] [-verify]",
+		"generates the calibrated synthetic SPECpower corpus (517 submissions, 477 valid) as CSV or JSON", stderr)
 	var (
 		seed      = fs.Int64("seed", 1, "generator seed; equal seeds reproduce the corpus bit for bit")
 		format    = fs.String("format", "csv", "output format: csv or json")
@@ -60,7 +61,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		quiet     = fs.Bool("q", false, "suppress the summary line on stderr")
 		verify    = fs.Bool("verify", false, "print the calibration check against the paper's targets and exit non-zero on failure")
 	)
-	if err := fs.Parse(args); err != nil {
+	if done, err := cli.Parse(fs, args, stdout); done || err != nil {
 		return err
 	}
 

@@ -11,13 +11,13 @@
 package main
 
 import (
-	"flag"
 	"fmt"
 	"io"
 	"os"
 	"strings"
 	"text/tabwriter"
 
+	"repro/internal/cli"
 	"repro/internal/dataset"
 	"repro/internal/placement"
 	"repro/internal/synth"
@@ -31,8 +31,9 @@ func main() {
 }
 
 func run(args []string, stdout, stderr io.Writer) error {
-	fs := flag.NewFlagSet("specplace", flag.ContinueOnError)
-	fs.SetOutput(stderr)
+	fs := cli.New("specplace",
+		"[-in FILE | -seed N] [-from Y -to Y] [-fleet N] [-demand F] [-cap-watts W]",
+		"plans energy-proportionality-aware workload placement for a fleet drawn from a SPECpower dataset", stderr)
 	var (
 		in       = fs.String("in", "", "dataset file (.csv or .json); empty generates the synthetic corpus")
 		seed     = fs.Int64("seed", 1, "seed for the synthetic corpus when -in is empty")
@@ -44,7 +45,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		powerOff = fs.Bool("power-off", false, "treat unassigned servers as powered off")
 		bandW    = fs.Float64("ep-band", 0.1, "EP band width for logical clustering")
 	)
-	if err := fs.Parse(args); err != nil {
+	if done, err := cli.Parse(fs, args, stdout); done || err != nil {
 		return err
 	}
 	rp, err := load(*in, *seed)

@@ -9,12 +9,12 @@
 package main
 
 import (
-	"flag"
 	"fmt"
 	"io"
 	"os"
 	"strings"
 
+	"repro/internal/cli"
 	"repro/internal/dataset"
 	"repro/internal/par"
 	"repro/internal/report"
@@ -29,8 +29,9 @@ func main() {
 }
 
 func run(args []string, stdout, stderr io.Writer) error {
-	fs := flag.NewFlagSet("specreport", flag.ContinueOnError)
-	fs.SetOutput(stderr)
+	fs := cli.New("specreport",
+		"[-seed N] [-in FILE] [-format text|html] [-no-sweeps] [-workers N] [-out FILE]",
+		"regenerates the paper's complete evaluation section: every figure, table and headline statistic", stderr)
 	var (
 		seed     = fs.Int64("seed", 1, "seed for the synthetic corpus and sweeps")
 		in       = fs.String("in", "", "dataset file (.csv or .json); empty generates the synthetic corpus")
@@ -40,7 +41,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		out      = fs.String("out", "", "output file (default stdout)")
 		workers  = fs.Int("workers", 0, "max parallel workers for sections and sweep cells (0 = all cores); output is identical at any count")
 	)
-	if err := fs.Parse(args); err != nil {
+	if done, err := cli.Parse(fs, args, stdout); done || err != nil {
 		return err
 	}
 	if *workers > 0 {

@@ -1,0 +1,253 @@
+// Command specserved serves the paper's artifacts — the full report,
+// every figure, the EP/EE/correlation metrics, and the corpus listing —
+// over HTTP from an immutable snapshot cache. Payloads render at most
+// once per snapshot (concurrent identical misses coalesce into a single
+// render) and are then served as pre-encoded bytes with ETag
+// revalidation and gzip variants; POST /api/v1/reload swaps in a new
+// corpus seed atomically without blocking readers.
+//
+// Usage:
+//
+//	specserved [-addr :8080] [-seed N] [-in FILE] [-no-sweeps] [-sweep-seconds S] [-workers N]
+//	specserved -selftest [-no-sweeps]   # smoke-check + load benchmark over a local listener
+//
+// Endpoints:
+//
+//	GET  /healthz
+//	GET  /api/v1/report?format=text|html
+//	GET  /api/v1/figures                      (index)
+//	GET  /api/v1/figures/{id}?format=text|svg
+//	GET  /api/v1/metrics/{ep|ee|correlations}
+//	GET  /api/v1/servers?year=YYYY&arch=NAME
+//	GET  /api/v1/summary
+//	POST /api/v1/reload?seed=N
+//	GET  /debug/stats
+package main
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/cli"
+	"repro/internal/dataset"
+	"repro/internal/par"
+	"repro/internal/report"
+	"repro/internal/serve"
+	"repro/internal/serve/loadbench"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "specserved:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := cli.New("specserved",
+		"[-addr :8080] [-seed N] [-in FILE] [-no-sweeps] [-sweep-seconds S] [-selftest]",
+		"serves the report, figures and metrics over HTTP from a snapshot cache", stderr)
+	var (
+		addr     = fs.String("addr", ":8080", "listen address")
+		seed     = fs.Int64("seed", 1, "seed for the synthetic corpus and the report's hardware sweeps")
+		in       = fs.String("in", "", "dataset file (.csv or .json); empty generates the synthetic corpus")
+		noSweeps = fs.Bool("no-sweeps", false, "serve the report without the Fig. 18-21 hardware-sweep sections")
+		sweepSec = fs.Int("sweep-seconds", 30, "simulated measurement interval for report sweeps (SPEC default 240)")
+		workers  = fs.Int("workers", 0, "max parallel workers for renders (0 = all cores); output is identical at any count")
+		selftest = fs.Bool("selftest", false, "start on a loopback listener, verify the API, run the load benchmark, exit")
+		requests = fs.Int("selftest-requests", 2000, "requests per endpoint in the self-test load benchmark")
+		clients  = fs.Int("selftest-clients", 8, "concurrent clients in the self-test load benchmark")
+	)
+	if done, err := cli.Parse(fs, args, stdout); done || err != nil {
+		return err
+	}
+	if *workers > 0 {
+		defer par.SetMaxWorkers(par.SetMaxWorkers(*workers))
+	}
+
+	cfg := serve.Config{Seed: *seed, Sweeps: !*noSweeps, SweepSeconds: *sweepSec}
+	if *in != "" {
+		rp, err := load(*in)
+		if err != nil {
+			return err
+		}
+		cfg.Repo = rp
+	}
+	srv, err := serve.New(cfg)
+	if err != nil {
+		return err
+	}
+	snap := srv.Snapshot()
+	fmt.Fprintf(stderr, "specserved: corpus %d submissions (%d valid), seed %d, sweeps %v\n",
+		snap.Repo.Len(), snap.Valid.Len(), snap.Seed, snap.Opts.Sweeps)
+
+	if *selftest {
+		return selfTest(srv, *requests, *clients, stdout)
+	}
+
+	fmt.Fprintf(stderr, "specserved: listening on %s\n", *addr)
+	return http.ListenAndServe(*addr, srv.Handler())
+}
+
+// selfTest starts the server on a loopback listener, verifies the API
+// surface end to end (byte-identity with the library render, ETag
+// revalidation, figure and metric endpoints), then load-benchmarks the
+// cold-miss and warm-hit paths and prints the numbers.
+func selfTest(srv *serve.Server, requests, clients int, out io.Writer) error {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer ln.Close()
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln)
+	defer hs.Close()
+	base := "http://" + ln.Addr().String()
+	client := &http.Client{Timeout: 5 * time.Minute}
+
+	// 1. Liveness.
+	if err := expectBody(client, base+"/healthz", "ok\n"); err != nil {
+		return fmt.Errorf("selftest healthz: %w", err)
+	}
+
+	// 2. Cold miss: the first report request renders; time it and pin
+	// byte-identity against the library render (what specreport prints
+	// for the same corpus, seed and options).
+	snap := srv.Snapshot()
+	want, err := report.Full(snap.Valid, snap.Opts)
+	if err != nil {
+		return fmt.Errorf("selftest render: %w", err)
+	}
+	t0 := time.Now()
+	resp, err := client.Get(base + "/api/v1/report")
+	if err != nil {
+		return fmt.Errorf("selftest report: %w", err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	cold := time.Since(t0)
+	if err != nil {
+		return fmt.Errorf("selftest report: %w", err)
+	}
+	if string(body) != want {
+		return fmt.Errorf("selftest: served report (%d bytes) differs from library render (%d bytes)", len(body), len(want))
+	}
+	etag := resp.Header.Get("ETag")
+	if etag == "" {
+		return fmt.Errorf("selftest: report response has no ETag")
+	}
+	fmt.Fprintf(out, "report: %d bytes, byte-identical to report.Full, cold miss %s\n", len(body), cold.Round(time.Millisecond))
+
+	// 3. Revalidation: a matching If-None-Match must 304 with no body.
+	req, _ := http.NewRequest(http.MethodGet, base+"/api/v1/report", nil)
+	req.Header.Set("If-None-Match", etag)
+	resp, err = client.Do(req)
+	if err != nil {
+		return fmt.Errorf("selftest revalidate: %w", err)
+	}
+	n, _ := io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotModified || n != 0 {
+		return fmt.Errorf("selftest: revalidation gave %d with %d body bytes, want 304 with 0", resp.StatusCode, n)
+	}
+	fmt.Fprintln(out, "etag: revalidation returns 304 with empty body")
+
+	// 4. Every figure in both advertised forms, plus the metric and
+	// listing endpoints.
+	for _, id := range report.FigureIDs() {
+		if err := expectOK(client, base+"/api/v1/figures/"+id); err != nil {
+			return fmt.Errorf("selftest figure %s: %w", id, err)
+		}
+		if report.FigureHasSVG(id) {
+			if err := expectOK(client, base+"/api/v1/figures/"+id+"?format=svg"); err != nil {
+				return fmt.Errorf("selftest figure %s svg: %w", id, err)
+			}
+		}
+	}
+	for _, p := range []string{"/api/v1/figures", "/api/v1/metrics/ep", "/api/v1/metrics/ee",
+		"/api/v1/metrics/correlations", "/api/v1/servers?year=2016", "/api/v1/summary", "/debug/stats"} {
+		if err := expectOK(client, base+p); err != nil {
+			return fmt.Errorf("selftest %s: %w", p, err)
+		}
+	}
+	fmt.Fprintf(out, "figures: %d selectors serve text (chart-backed ones serve SVG)\n", len(report.FigureIDs()))
+
+	// 5. Load benchmark: warm-hit throughput on the heavy and light
+	// paths, plus the 304 revalidation path.
+	fmt.Fprintf(out, "loadbench: %d requests x %d clients per endpoint\n", requests, clients)
+	runs := []loadbench.Options{
+		{Path: "/api/v1/report", Requests: requests, Concurrency: clients},
+		{Path: "/api/v1/report", Requests: requests, Concurrency: clients,
+			Header: http.Header{"If-None-Match": {etag}}, WantStatus: http.StatusNotModified},
+		{Path: "/api/v1/metrics/ep", Requests: requests, Concurrency: clients},
+		{Path: "/api/v1/figures/3?format=svg", Requests: requests, Concurrency: clients},
+		{Path: "/healthz", Requests: requests, Concurrency: clients},
+	}
+	for _, opt := range runs {
+		res, err := loadbench.Run(client, base, opt)
+		if err != nil {
+			return fmt.Errorf("selftest loadbench: %w", err)
+		}
+		if opt.WantStatus == http.StatusNotModified {
+			res.Path += " (304)"
+		}
+		fmt.Fprintln(out, res.String())
+	}
+	fmt.Fprintln(out, "selftest: ok")
+	return nil
+}
+
+// expectOK issues one GET and requires a 200.
+func expectOK(client *http.Client, url string) error {
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("status %d", resp.StatusCode)
+	}
+	return nil
+}
+
+// expectBody issues one GET and requires a 200 with the exact body.
+func expectBody(client *http.Client, url, want string) error {
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK || string(body) != want {
+		return fmt.Errorf("status %d body %q, want 200 %q", resp.StatusCode, body, want)
+	}
+	return nil
+}
+
+// load reads a dataset file by extension, mirroring the other CLIs.
+func load(path string) (*dataset.Repository, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var results []*dataset.Result
+	if strings.HasSuffix(path, ".json") {
+		results, err = dataset.ReadJSON(f)
+	} else {
+		results, err = dataset.ReadCSV(f)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return dataset.NewRepository(results), nil
+}

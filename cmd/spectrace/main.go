@@ -12,13 +12,13 @@
 package main
 
 import (
-	"flag"
 	"fmt"
 	"io"
 	"os"
 	"strings"
 	"text/tabwriter"
 
+	"repro/internal/cli"
 	"repro/internal/dataset"
 	"repro/internal/placement"
 	"repro/internal/synth"
@@ -33,8 +33,9 @@ func main() {
 }
 
 func run(args []string, stdout, stderr io.Writer) error {
-	fs := flag.NewFlagSet("spectrace", flag.ContinueOnError)
-	fs.SetOutput(stderr)
+	fs := cli.New("spectrace",
+		"[-in FILE | -seed N] [-fleet N] [-days D] [-load F] [-price USD] [-pue F]",
+		"replays a diurnal demand trace against a fleet under each placement strategy and prices the difference", stderr)
 	var (
 		in       = fs.String("in", "", "dataset file (.csv or .json); empty generates the synthetic corpus")
 		seed     = fs.Int64("seed", 1, "seed for corpus, trace, and fleet selection")
@@ -49,7 +50,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		pue      = fs.Float64("pue", 1.5, "facility power usage effectiveness")
 		powerOff = fs.Bool("power-off", false, "allow powering idle servers off")
 	)
-	if err := fs.Parse(args); err != nil {
+	if done, err := cli.Parse(fs, args, stdout); done || err != nil {
 		return err
 	}
 	rp, err := load2(*in, *seed)

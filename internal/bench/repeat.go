@@ -23,10 +23,17 @@ type Repeatability struct {
 }
 
 // Repeat executes the configuration n times with derived seeds and
-// summarizes the score distribution. The repetitions are independent
-// (each derives its own seed from its index), so they fan out over the
-// internal/par pool; scores land in run order, keeping the summary
-// identical at any worker count.
+// summarizes the score distribution. Run i uses
+//
+//	runSeed = cfg.Seed + i*7919
+//
+// so each repetition owns an rng stream determined only by its index —
+// the same worker-invariance contract as Sweep's per-cell derivation
+// (see SweepOptions.Seed): repetitions are independent, fan out over
+// the internal/par pool, scores land in run order, and the summary is
+// identical at any worker count. The constant is part of the package's
+// compatibility surface; DESIGN.md §5 records it alongside the sweep
+// constants.
 func Repeat(cfg Config, n int) (Repeatability, error) {
 	if n < 2 {
 		return Repeatability{}, fmt.Errorf("bench: repeat needs at least 2 runs, got %d", n)

@@ -37,8 +37,20 @@ type MemoryConfig struct {
 
 // SweepOptions tune a sweep beyond its seed.
 type SweepOptions struct {
-	// Seed is re-derived per cell so individual cells are reproducible
-	// regardless of sweep order.
+	// Seed is re-derived per cell as
+	//
+	//	cellSeed = Seed + mi*1009 + gi*9176
+	//
+	// where mi is the memory-configuration index and gi the governor
+	// index (both 0-based). Every cell therefore owns an independent
+	// rng stream determined only by its grid position — not by
+	// execution order — which is the worker-invariance contract: the
+	// sweep's output is byte-identical at any internal/par worker
+	// count, and a single re-run cell reproduces its in-sweep result.
+	// The derivation is part of the package's compatibility surface
+	// (changing the constants changes every published sweep number);
+	// DESIGN.md §5 "Parallel report pipeline" documents the same
+	// contract from the pipeline side.
 	Seed int64
 	// IntervalSeconds shortens each simulated measurement interval
 	// (0 = the benchmark default of 240 s).
@@ -52,9 +64,10 @@ func Sweep(srv power.ServerConfig, mems []MemoryConfig, govs []power.Governor, s
 }
 
 // SweepWith is Sweep with explicit options. Cells are mutually
-// independent — each re-derives its own seed from its grid position —
-// so they fan out over the internal/par worker pool; results land at
-// their grid index, making the output identical at any worker count.
+// independent — each re-derives its own seed from its grid position
+// (see SweepOptions.Seed for the exact derivation) — so they fan out
+// over the internal/par worker pool; results land at their grid index,
+// making the output identical at any worker count.
 func SweepWith(srv power.ServerConfig, mems []MemoryConfig, govs []power.Governor, opts SweepOptions) ([]SweepPoint, error) {
 	cfgs := make([]power.ServerConfig, len(mems))
 	for mi, mem := range mems {

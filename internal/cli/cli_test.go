@@ -1,0 +1,59 @@
+package cli
+
+import (
+	"flag"
+	"strings"
+	"testing"
+)
+
+func newTestSet(stderr *strings.Builder) *flag.FlagSet {
+	fs := New("spectest", "[-n N]", "does test things over the corpus", stderr)
+	fs.Int("n", 1, "a number")
+	return fs
+}
+
+func TestParsePlain(t *testing.T) {
+	var stderr, stdout strings.Builder
+	fs := newTestSet(&stderr)
+	done, err := Parse(fs, []string{"-n", "3"}, &stdout)
+	if done || err != nil {
+		t.Fatalf("Parse = (%v, %v), want (false, nil)", done, err)
+	}
+	if got := fs.Lookup("n").Value.String(); got != "3" {
+		t.Fatalf("-n = %s, want 3", got)
+	}
+}
+
+func TestParseVersion(t *testing.T) {
+	var stderr, stdout strings.Builder
+	done, err := Parse(newTestSet(&stderr), []string{"-version"}, &stdout)
+	if !done || err != nil {
+		t.Fatalf("Parse = (%v, %v), want (true, nil)", done, err)
+	}
+	out := stdout.String()
+	if !strings.HasPrefix(out, "spectest "+Version) || !strings.Contains(out, "go1") {
+		t.Fatalf("version output %q lacks name/version/toolchain", out)
+	}
+}
+
+func TestParseHelpExitsClean(t *testing.T) {
+	var stderr, stdout strings.Builder
+	done, err := Parse(newTestSet(&stderr), []string{"-h"}, &stdout)
+	if !done || err != nil {
+		t.Fatalf("-h: Parse = (%v, %v), want (true, nil)", done, err)
+	}
+	usage := stderr.String()
+	for _, want := range []string{"usage: spectest [-n N]", "does test things", "-version", "-n"} {
+		if !strings.Contains(usage, want) {
+			t.Fatalf("usage output missing %q:\n%s", want, usage)
+		}
+	}
+}
+
+func TestParseBadFlag(t *testing.T) {
+	var stderr, stdout strings.Builder
+	done, err := Parse(newTestSet(&stderr), []string{"-bogus"}, &stdout)
+	if done || err == nil {
+		t.Fatalf("bad flag: Parse = (%v, %v), want (false, error)", done, err)
+	}
+}

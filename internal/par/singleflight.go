@@ -1,0 +1,99 @@
+package par
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Flight coalesces concurrent duplicate work: when several goroutines
+// Do the same key at once, one executes the function and the rest block
+// and share its return value. Unlike a cache, a Flight remembers
+// nothing — once the last waiter for a key has been released, the next
+// Do with that key executes again. Layer it under a cache to guarantee
+// that N identical concurrent misses trigger exactly one computation.
+//
+// The zero value is ready to use and must not be copied after first
+// use.
+type Flight[K comparable, V any] struct {
+	mu    sync.Mutex
+	calls map[K]*flightCall[V]
+}
+
+// flightCall is one in-progress execution plus its waiters.
+type flightCall[V any] struct {
+	done    chan struct{}
+	waiters atomic.Int64
+	val     V
+	err     error
+}
+
+// Do executes fn under key, coalescing with any execution of the same
+// key already in flight: the first caller runs fn, later callers block
+// until it returns and receive the same value and error. shared reports
+// whether the result was produced by another caller's execution.
+//
+// fn runs on the calling goroutine, so a panic propagates to the
+// executing caller; waiters of a panicked call receive a zero value and
+// ErrFlightPanicked rather than deadlocking.
+func (f *Flight[K, V]) Do(key K, fn func() (V, error)) (v V, err error, shared bool) {
+	f.mu.Lock()
+	if f.calls == nil {
+		f.calls = make(map[K]*flightCall[V])
+	}
+	if c, ok := f.calls[key]; ok {
+		c.waiters.Add(1)
+		f.mu.Unlock()
+		<-c.done
+		return c.val, c.err, true
+	}
+	c := &flightCall[V]{done: make(chan struct{})}
+	f.calls[key] = c
+	f.mu.Unlock()
+
+	normal := false
+	defer func() {
+		if !normal {
+			c.err = ErrFlightPanicked
+		}
+		// Drop the call before releasing waiters so a Do that starts
+		// after completion executes afresh instead of reading a stale
+		// result.
+		f.mu.Lock()
+		delete(f.calls, key)
+		f.mu.Unlock()
+		close(c.done)
+	}()
+	c.val, c.err = fn()
+	normal = true
+	return c.val, c.err, false
+}
+
+// InFlight reports the number of keys currently executing, for tests
+// and stats endpoints.
+func (f *Flight[K, V]) InFlight() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.calls)
+}
+
+// Waiters reports how many callers are currently blocked on key's
+// in-flight execution (0 when the key is idle). Tests use it to release
+// a gated execution only after every concurrent caller has joined; the
+// stats endpoint reports it as live coalescing pressure.
+func (f *Flight[K, V]) Waiters(key K) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if c, ok := f.calls[key]; ok {
+		return int(c.waiters.Load())
+	}
+	return 0
+}
+
+// ErrFlightPanicked is delivered to waiters whose shared execution
+// panicked; the panic itself propagates on the executing goroutine.
+var ErrFlightPanicked = flightError("par: coalesced call panicked")
+
+// flightError keeps the sentinel comparable and const-initializable.
+type flightError string
+
+func (e flightError) Error() string { return string(e) }

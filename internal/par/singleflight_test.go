@@ -1,0 +1,224 @@
+package par
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestFlightSingleCaller(t *testing.T) {
+	var f Flight[string, int]
+	v, err, shared := f.Do("k", func() (int, error) { return 42, nil })
+	if v != 42 || err != nil || shared {
+		t.Fatalf("Do = (%d, %v, %v), want (42, nil, false)", v, err, shared)
+	}
+	if n := f.InFlight(); n != 0 {
+		t.Fatalf("InFlight after completion = %d, want 0", n)
+	}
+}
+
+// waitForWaiters blocks until n callers are parked on key's in-flight
+// execution, so a gated test can release the executor knowing exactly
+// who joined.
+func waitForWaiters[K comparable, V any](t *testing.T, f *Flight[K, V], key K, n int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for f.Waiters(key) < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out with %d/%d waiters on %v", f.Waiters(key), n, key)
+		}
+		runtime.Gosched()
+	}
+}
+
+// TestFlightCoalesces pins the core contract: N concurrent Dos of the
+// same key execute the function exactly once, and everyone sees the
+// same value.
+func TestFlightCoalesces(t *testing.T) {
+	const goroutines = 64
+	var (
+		f           Flight[string, int]
+		calls       atomic.Int64
+		sharedCount atomic.Int64
+		gate        = make(chan struct{})
+		ready       = make(chan struct{})
+		wg          sync.WaitGroup
+	)
+	fn := func() (int, error) {
+		calls.Add(1)
+		close(ready) // executor reached fn
+		<-gate       // hold the flight open until every caller has joined
+		return 7, nil
+	}
+	do := func() {
+		defer wg.Done()
+		v, err, shared := f.Do("k", fn)
+		if v != 7 || err != nil {
+			t.Errorf("Do = (%d, %v), want (7, nil)", v, err)
+		}
+		if shared {
+			sharedCount.Add(1)
+		}
+	}
+	wg.Add(1)
+	go do()
+	<-ready // the execution is in flight; everyone below must coalesce
+	for i := 1; i < goroutines; i++ {
+		wg.Add(1)
+		go do()
+	}
+	waitForWaiters(t, &f, "k", goroutines-1)
+	close(gate)
+	wg.Wait()
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("function executed %d times for %d concurrent callers, want 1", got, goroutines)
+	}
+	if got := sharedCount.Load(); got != goroutines-1 {
+		t.Fatalf("shared=true for %d callers, want %d", got, goroutines-1)
+	}
+}
+
+// TestFlightErrorPropagation: every coalesced caller receives the
+// executor's error, and the error is not cached.
+func TestFlightErrorPropagation(t *testing.T) {
+	const waiters = 15
+	var (
+		f      Flight[int, string]
+		boom   = errors.New("boom")
+		gate   = make(chan struct{})
+		ready  = make(chan struct{})
+		wg     sync.WaitGroup
+		errsCh = make(chan error, waiters+1)
+	)
+	do := func() {
+		defer wg.Done()
+		_, err, _ := f.Do(1, func() (string, error) {
+			close(ready)
+			<-gate
+			return "", boom
+		})
+		errsCh <- err
+	}
+	wg.Add(1)
+	go do()
+	<-ready
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go do()
+	}
+	waitForWaiters(t, &f, 1, waiters)
+	close(gate)
+	wg.Wait()
+	close(errsCh)
+	n := 0
+	for err := range errsCh {
+		n++
+		if !errors.Is(err, boom) {
+			t.Fatalf("caller got %v, want %v", err, boom)
+		}
+	}
+	if n != waiters+1 {
+		t.Fatalf("collected %d errors, want %d", n, waiters+1)
+	}
+	// A later Do runs afresh rather than replaying the failure.
+	v, err, shared := f.Do(1, func() (string, error) { return "ok", nil })
+	if v != "ok" || err != nil || shared {
+		t.Fatalf("post-error Do = (%q, %v, %v), want (ok, nil, false)", v, err, shared)
+	}
+}
+
+// TestFlightPanicReleasesWaiters: a panicking executor must not strand
+// coalesced waiters.
+func TestFlightPanicReleasesWaiters(t *testing.T) {
+	var (
+		f     Flight[string, int]
+		gate  = make(chan struct{})
+		ready = make(chan struct{})
+		wg    sync.WaitGroup
+	)
+	waiterErr := make(chan error, 1)
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		defer func() {
+			if recover() == nil {
+				t.Error("executor did not panic")
+			}
+		}()
+		f.Do("k", func() (int, error) {
+			close(ready)
+			<-gate
+			panic("kaboom")
+		})
+	}()
+	go func() {
+		defer wg.Done()
+		<-ready
+		_, err, _ := f.Do("k", func() (int, error) { return 0, nil })
+		waiterErr <- err
+	}()
+	<-ready
+	waitForWaiters(t, &f, "k", 1)
+	close(gate)
+	wg.Wait()
+	if err := <-waiterErr; !errors.Is(err, ErrFlightPanicked) {
+		t.Fatalf("waiter got %v, want ErrFlightPanicked", err)
+	}
+}
+
+// TestFlightManyKeysRace drives hundreds of goroutines over a handful
+// of keys under the race detector: distinct keys run independently and
+// no key's executions ever overlap.
+func TestFlightManyKeysRace(t *testing.T) {
+	const (
+		goroutines = 400
+		keys       = 8
+	)
+	var (
+		f       Flight[int, int]
+		running [keys]atomic.Int64
+		wg      sync.WaitGroup
+	)
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			key := i % keys
+			v, err, _ := f.Do(key, func() (int, error) {
+				if n := running[key].Add(1); n != 1 {
+					t.Errorf("key %d had %d overlapping executions", key, n)
+				}
+				defer running[key].Add(-1)
+				return key * 10, nil
+			})
+			if err != nil || v != key*10 {
+				t.Errorf("Do(%d) = (%d, %v), want (%d, nil)", key, v, err, key*10)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if n := f.InFlight(); n != 0 {
+		t.Fatalf("InFlight after drain = %d, want 0", n)
+	}
+}
+
+func BenchmarkFlightUncontended(b *testing.B) {
+	var f Flight[string, int]
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		f.Do("k", func() (int, error) { return 1, nil })
+	}
+}
+
+func ExampleFlight() {
+	var f Flight[string, string]
+	v, _, shared := f.Do("greeting", func() (string, error) {
+		return "hello", nil
+	})
+	fmt.Println(v, shared)
+	// Output: hello false
+}

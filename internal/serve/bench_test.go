@@ -1,0 +1,105 @@
+package serve
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// benchRequest issues one in-process request, failing the benchmark on
+// a non-2xx/304 status.
+func benchRequest(b *testing.B, s *Server, target string, header http.Header) *httptest.ResponseRecorder {
+	req := httptest.NewRequest(http.MethodGet, target, nil)
+	for k, vs := range header {
+		for _, v := range vs {
+			req.Header.Add(k, v)
+		}
+	}
+	w := httptest.NewRecorder()
+	s.Handler().ServeHTTP(w, req)
+	if w.Code != http.StatusOK && w.Code != http.StatusNotModified {
+		b.Fatalf("%s: status %d", target, w.Code)
+	}
+	return w
+}
+
+// BenchmarkReportColdMiss measures the first-request path: a full
+// report render into a fresh snapshot cache. Reload swaps in an empty
+// cache between iterations; the corpus and its metric memos are shared,
+// so this isolates render + cache-fill cost.
+func BenchmarkReportColdMiss(b *testing.B) {
+	s, err := New(Config{Seed: testSeed, Repo: corpus(b)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		if _, err := s.Reload(testSeed); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		benchRequest(b, s, "/api/v1/report", nil)
+	}
+}
+
+// BenchmarkReportWarmHit measures the steady-state hot path: cached
+// bytes served with ETag and headers, no rendering.
+func BenchmarkReportWarmHit(b *testing.B) {
+	s, err := New(Config{Seed: testSeed, Repo: corpus(b)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchRequest(b, s, "/api/v1/report", nil) // fill
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchRequest(b, s, "/api/v1/report", nil)
+	}
+}
+
+// BenchmarkReportWarm304 measures revalidation: a matching
+// If-None-Match serves no body at all.
+func BenchmarkReportWarm304(b *testing.B) {
+	s, err := New(Config{Seed: testSeed, Repo: corpus(b)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	etag := benchRequest(b, s, "/api/v1/report", nil).Header().Get("ETag")
+	header := http.Header{"If-None-Match": {etag}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchRequest(b, s, "/api/v1/report", header)
+	}
+}
+
+// BenchmarkReportWarmGzip serves the pre-compressed variant.
+func BenchmarkReportWarmGzip(b *testing.B) {
+	s, err := New(Config{Seed: testSeed, Repo: corpus(b)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	header := http.Header{"Accept-Encoding": {"gzip"}}
+	benchRequest(b, s, "/api/v1/report", header)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchRequest(b, s, "/api/v1/report", header)
+	}
+}
+
+// BenchmarkFigureWarmHit measures a small cached payload (Fig. 3 text).
+func BenchmarkFigureWarmHit(b *testing.B) {
+	s, err := New(Config{Seed: testSeed, Repo: corpus(b)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchRequest(b, s, "/api/v1/figures/3", nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchRequest(b, s, "/api/v1/figures/3", nil)
+	}
+}

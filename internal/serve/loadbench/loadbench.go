@@ -1,0 +1,153 @@
+// Package loadbench hammers a running serving instance over a real
+// listener and reports throughput and latency percentiles — the
+// serving-side counterpart of the per-figure Go benchmarks. It backs
+// `specserved -selftest` and the internal/serve benchmarks; it is a
+// measurement harness, so unlike the simulation libraries it reads the
+// wall clock.
+package loadbench
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Options shape one load run.
+type Options struct {
+	// Path is the request target, e.g. "/api/v1/report".
+	Path string
+	// Requests is the total request count (default 1000).
+	Requests int
+	// Concurrency is the number of in-flight workers (default 8).
+	Concurrency int
+	// Header is added to every request (nil ok); use it to exercise
+	// ETag revalidation or gzip negotiation.
+	Header http.Header
+	// WantStatus is the expected response status (default 200); any
+	// other response counts as an error.
+	WantStatus int
+}
+
+// Result summarizes one load run.
+type Result struct {
+	Path     string
+	Requests int
+	Errors   int
+	// Elapsed is the wall-clock duration of the whole run.
+	Elapsed time.Duration
+	// Throughput is completed requests per second.
+	Throughput float64
+	// P50/P99/Max summarize per-request latency.
+	P50, P99, Max time.Duration
+	// Bytes is the total body bytes read.
+	Bytes int64
+}
+
+// String renders the result as one aligned report line.
+func (r Result) String() string {
+	return fmt.Sprintf("%-28s %7d req  %9.0f req/s  p50 %9s  p99 %9s  max %9s  %6.1f MB  errors %d",
+		r.Path, r.Requests, r.Throughput,
+		r.P50.Round(time.Microsecond), r.P99.Round(time.Microsecond), r.Max.Round(time.Microsecond),
+		float64(r.Bytes)/(1<<20), r.Errors)
+}
+
+// Run drives Options.Requests requests at Options.Concurrency against
+// baseURL+Path and aggregates latency. The client must be safe for
+// concurrent use; pass http.DefaultClient for a plain run.
+func Run(client *http.Client, baseURL string, opt Options) (Result, error) {
+	if opt.Requests <= 0 {
+		opt.Requests = 1000
+	}
+	if opt.Concurrency <= 0 {
+		opt.Concurrency = 8
+	}
+	if opt.WantStatus == 0 {
+		opt.WantStatus = http.StatusOK
+	}
+	url := baseURL + opt.Path
+
+	var (
+		wg        sync.WaitGroup
+		mu        sync.Mutex
+		latencies = make([]time.Duration, 0, opt.Requests)
+		errs      int
+		bytes     int64
+		next      = make(chan struct{}, opt.Requests)
+	)
+	for i := 0; i < opt.Requests; i++ {
+		next <- struct{}{}
+	}
+	close(next)
+
+	start := time.Now()
+	for w := 0; w < opt.Concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := make([]time.Duration, 0, opt.Requests/opt.Concurrency+1)
+			var localErrs int
+			var localBytes int64
+			for range next {
+				t0 := time.Now()
+				n, err := one(client, url, opt)
+				local = append(local, time.Since(t0))
+				if err != nil {
+					localErrs++
+				}
+				localBytes += n
+			}
+			mu.Lock()
+			latencies = append(latencies, local...)
+			errs += localErrs
+			bytes += localBytes
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	res := Result{
+		Path:     opt.Path,
+		Requests: len(latencies),
+		Errors:   errs,
+		Elapsed:  elapsed,
+		Bytes:    bytes,
+	}
+	if n := len(latencies); n > 0 {
+		res.P50 = latencies[n/2]
+		res.P99 = latencies[int(0.99*float64(n-1))]
+		res.Max = latencies[n-1]
+		res.Throughput = float64(n) / elapsed.Seconds()
+	}
+	if errs > 0 {
+		return res, fmt.Errorf("loadbench: %d/%d requests failed against %s", errs, opt.Requests, url)
+	}
+	return res, nil
+}
+
+// one issues a single request and drains the body.
+func one(client *http.Client, url string, opt Options) (int64, error) {
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		return 0, err
+	}
+	for k, vs := range opt.Header {
+		for _, v := range vs {
+			req.Header.Add(k, v)
+		}
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	n, _ := io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != opt.WantStatus {
+		return n, fmt.Errorf("status %d, want %d", resp.StatusCode, opt.WantStatus)
+	}
+	return n, nil
+}
