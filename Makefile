@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build vet test race bench report report-html verify serve selftest examples clean
+.PHONY: all check build vet test race bench report report-html verify calibrate fuzz serve selftest examples clean
 
 all: check
 
@@ -34,9 +34,22 @@ report:
 report-html:
 	$(GO) run ./cmd/specreport -format html -out report.html
 
-# Check the synthetic corpus against every paper target.
+# Run the paper-invariant verification engine: structural, metric and
+# differential checks over the default corpus (exit non-zero on any
+# failure). `make calibrate` is the older, looser calibration table.
 verify:
+	$(GO) run ./cmd/specverify -seed 1
+
+# Check the synthetic corpus against every paper target (any-seed bands).
+calibrate:
 	$(GO) run ./cmd/specgen -verify -q
+
+# Fuzz the EP metric kernel and the curve solvers for a short burst
+# each (CI smoke; raise FUZZTIME locally for a real session).
+FUZZTIME ?= 10s
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzCurveEP -fuzztime $(FUZZTIME) ./internal/synth
+	$(GO) test -run '^$$' -fuzz FuzzIdleForEP -fuzztime $(FUZZTIME) ./internal/synth
 
 # Serve the report/figures/metrics over HTTP from the snapshot cache.
 serve:

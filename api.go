@@ -14,6 +14,7 @@ import (
 	"repro/internal/serve"
 	"repro/internal/synth"
 	"repro/internal/trace"
+	"repro/internal/verify"
 	"repro/internal/workload"
 )
 
@@ -421,6 +422,35 @@ type CalibrationCheckRow = synth.Check
 func VerifyCalibration(rp *Repository) ([]CalibrationCheckRow, error) {
 	return synth.CalibrationCheck(rp)
 }
+
+// The paper-invariant verification engine (cmd/specverify drives it;
+// internal/verify houses the registry).
+type (
+	// VerifyReport is the outcome of one invariant run: per-check
+	// findings plus pass/fail tallies.
+	VerifyReport = verify.Report
+	// VerifyFinding is one invariant's measured outcome.
+	VerifyFinding = verify.Finding
+	// VerifyInvariant is one registered check (name, category, doc).
+	VerifyInvariant = verify.Invariant
+	// VerifyCategory selects structural, metric or differential checks.
+	VerifyCategory = verify.Category
+)
+
+// Verify generates the calibrated synthetic corpus at seed and runs
+// every registered paper invariant over it: structural counts, metric
+// recomputations against the paper's published numbers, and
+// differential cross-checks of caches, worker schedules and the
+// serving layer.
+func Verify(seed int64) (*VerifyReport, error) { return verify.Synthetic(seed) }
+
+// VerifyCorpus runs the invariant registry over an already-loaded
+// repository. Generation-dependent invariants are skipped.
+func VerifyCorpus(rp *Repository, seed int64) *VerifyReport { return verify.Corpus(rp, seed) }
+
+// VerifyInvariants lists the registered invariants without running
+// them.
+func VerifyInvariants() []VerifyInvariant { return verify.Registry() }
 
 // KnightShift composes a primary server with a low-power companion that
 // serves low loads — the related work's server-level heterogeneity

@@ -39,6 +39,7 @@ import (
 	"repro/internal/report"
 	"repro/internal/serve"
 	"repro/internal/serve/loadbench"
+	"repro/internal/verify"
 )
 
 func main() {
@@ -59,6 +60,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		noSweeps = fs.Bool("no-sweeps", false, "serve the report without the Fig. 18-21 hardware-sweep sections")
 		sweepSec = fs.Int("sweep-seconds", 30, "simulated measurement interval for report sweeps (SPEC default 240)")
 		workers  = fs.Int("workers", 0, "max parallel workers for renders (0 = all cores); output is identical at any count")
+		doVerify = fs.Bool("verify", false, "run the structural and metric paper invariants over the snapshot before serving; refuse to start on failure")
 		selftest = fs.Bool("selftest", false, "start on a loopback listener, verify the API, run the load benchmark, exit")
 		requests = fs.Int("selftest-requests", 2000, "requests per endpoint in the self-test load benchmark")
 		clients  = fs.Int("selftest-clients", 8, "concurrent clients in the self-test load benchmark")
@@ -86,19 +88,44 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fmt.Fprintf(stderr, "specserved: corpus %d submissions (%d valid), seed %d, sweeps %v\n",
 		snap.Repo.Len(), snap.Valid.Len(), snap.Seed, snap.Opts.Sweeps)
 
+	synthetic := *in == ""
+	if *doVerify {
+		if err := verifySnapshot(srv, synthetic, stderr); err != nil {
+			return err
+		}
+	}
+
 	if *selftest {
-		return selfTest(srv, *requests, *clients, stdout)
+		return selfTest(srv, synthetic, *requests, *clients, stdout)
 	}
 
 	fmt.Fprintf(stderr, "specserved: listening on %s\n", *addr)
 	return http.ListenAndServe(*addr, srv.Handler())
 }
 
+// verifySnapshot runs the fast invariant categories (structural and
+// metric — the differential ones re-render reports and belong to
+// specverify) over the server's current snapshot, so a bad corpus is
+// refused at startup and a reload can be re-checked live.
+func verifySnapshot(srv *serve.Server, synthetic bool, out io.Writer) error {
+	snap := srv.Snapshot()
+	ctx := verify.SnapshotContext(snap, synthetic)
+	rep := verify.Run(ctx, verify.Structural, verify.Metric)
+	run, _, failed, _ := rep.Counts()
+	if !rep.OK() {
+		fmt.Fprint(out, rep.String())
+		return fmt.Errorf("snapshot failed %d of %d paper invariants: %s",
+			failed, run, strings.Join(rep.FailureNames(), ", "))
+	}
+	fmt.Fprintf(out, "specserved: snapshot passed %d paper invariants (seed %d)\n", run, snap.Seed)
+	return nil
+}
+
 // selfTest starts the server on a loopback listener, verifies the API
 // surface end to end (byte-identity with the library render, ETag
 // revalidation, figure and metric endpoints), then load-benchmarks the
 // cold-miss and warm-hit paths and prints the numbers.
-func selfTest(srv *serve.Server, requests, clients int, out io.Writer) error {
+func selfTest(srv *serve.Server, synthetic bool, requests, clients int, out io.Writer) error {
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return err
@@ -177,7 +204,36 @@ func selfTest(srv *serve.Server, requests, clients int, out io.Writer) error {
 	}
 	fmt.Fprintf(out, "figures: %d selectors serve text (chart-backed ones serve SVG)\n", len(report.FigureIDs()))
 
-	// 5. Load benchmark: warm-hit throughput on the heavy and light
+	// 5. Reload at the same seed over HTTP, then re-run the paper
+	// invariants against the live snapshot the swap installed: the
+	// served corpus must satisfy them after every reload, and the
+	// stable ETag proves the regenerated payload is byte-identical.
+	resp, err = client.Post(base+fmt.Sprintf("/api/v1/reload?seed=%d", snap.Seed), "", nil)
+	if err != nil {
+		return fmt.Errorf("selftest reload: %w", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("selftest reload: status %d", resp.StatusCode)
+	}
+	if err := verifySnapshot(srv, synthetic, out); err != nil {
+		return fmt.Errorf("selftest after reload: %w", err)
+	}
+	req, _ = http.NewRequest(http.MethodGet, base+"/api/v1/report", nil)
+	req.Header.Set("If-None-Match", etag)
+	resp, err = client.Do(req)
+	if err != nil {
+		return fmt.Errorf("selftest reload revalidate: %w", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotModified {
+		return fmt.Errorf("selftest: pre-reload ETag gave %d after same-seed reload, want 304", resp.StatusCode)
+	}
+	fmt.Fprintln(out, "reload: snapshot re-verified, pre-reload ETag still valid")
+
+	// 6. Load benchmark: warm-hit throughput on the heavy and light
 	// paths, plus the 304 revalidation path.
 	fmt.Fprintf(out, "loadbench: %d requests x %d clients per endpoint\n", requests, clients)
 	runs := []loadbench.Options{

@@ -1,0 +1,129 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/synth"
+)
+
+func TestRunSeed1Passes(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-seed", "1"}, &out, &errBuf); err != nil {
+		t.Fatalf("seed-1 verification failed: %v\n%s", err, out.String())
+	}
+	s := out.String()
+	for _, want := range []string{"structural/total-submissions", "metric/eq2-fit", "differential/cold-vs-memoized", "0 failed"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+	if strings.Contains(s, "FAIL") {
+		t.Errorf("verification reported failures:\n%s", s)
+	}
+}
+
+func TestRunQuietPrintsOnlySummary(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-seed", "1", "-q", "-category", "structural"}, &out, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 1 || !strings.Contains(lines[0], "0 failed") {
+		t.Errorf("quiet output not a single summary line:\n%s", out.String())
+	}
+}
+
+func TestRunList(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-list"}, &out, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"structural/valid-count", "metric/corr-ep-idle", "differential/worker-invariance"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("-list missing %q", want)
+		}
+	}
+}
+
+func TestRunRejectsUnknownCategory(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-category", "quantum"}, &out, &errBuf); err == nil {
+		t.Error("unknown category accepted")
+	}
+}
+
+func TestRunVerifiesCorpusFile(t *testing.T) {
+	rp, err := synth.NewRepository(synth.Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "corpus.csv")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dataset.WriteCSV(f, rp.All()); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-in", path}, &out, &errBuf); err != nil {
+		t.Fatalf("file corpus failed verification: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "1 skipped") {
+		t.Errorf("file corpus should skip regeneration determinism:\n%s", out.String())
+	}
+}
+
+// TestRunFailsOnCorruptedCorpus is the end-to-end negative path: a
+// tampered corpus file must make the binary exit non-zero with the
+// failed invariants named.
+func TestRunFailsOnCorruptedCorpus(t *testing.T) {
+	rp, err := synth.NewRepository(synth.Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := rp.All()
+	for _, r := range results[:50] { // inflate power mid-curve on 50 results
+		r.Levels[5].AvgPowerWatts *= 3
+	}
+	path := filepath.Join(t.TempDir(), "corrupt.csv")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dataset.WriteCSV(f, results); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var out, errBuf bytes.Buffer
+	err = run([]string{"-in", path, "-q"}, &out, &errBuf)
+	if err == nil {
+		t.Fatalf("corrupted corpus passed verification:\n%s", out.String())
+	}
+	if !strings.Contains(err.Error(), "invariants failed") {
+		t.Errorf("error %q does not name failed invariants", err)
+	}
+	if !strings.Contains(out.String(), "FAIL") {
+		t.Errorf("quiet output missing FAIL lines:\n%s", out.String())
+	}
+}
+
+func TestRunRejectsMissingFile(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-in", filepath.Join(t.TempDir(), "absent.csv")}, &out, &errBuf); err == nil {
+		t.Error("missing corpus file accepted")
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/microarch"
 	"repro/internal/synth"
+	"repro/internal/verify/tol"
 )
 
 var testCorpus *dataset.Repository
@@ -370,11 +371,11 @@ func TestComputeCorrelations(t *testing.T) {
 	if corr.N != validCorpus(t).Len() {
 		t.Errorf("N = %d", corr.N)
 	}
-	if corr.EPvsOverallEE < 0.55 || corr.EPvsOverallEE > 0.85 {
-		t.Errorf("corr(EP, EE) = %.3f, want ≈ 0.741", corr.EPvsOverallEE)
+	if corr.EPvsOverallEE < tol.CorrEPEEMin || corr.EPvsOverallEE > tol.CorrEPEEMax {
+		t.Errorf("corr(EP, EE) = %.3f, want ≈ %v", corr.EPvsOverallEE, tol.CorrEPEETarget)
 	}
-	if corr.EPvsIdleFraction > -0.85 {
-		t.Errorf("corr(EP, idle) = %.3f, want ≈ −0.92", corr.EPvsIdleFraction)
+	if corr.EPvsIdleFraction > tol.CorrEPIdleMax || corr.EPvsIdleFraction < tol.CorrEPIdleMin {
+		t.Errorf("corr(EP, idle) = %.3f, want ≈ %v", corr.EPvsIdleFraction, tol.CorrEPIdleTarget)
 	}
 	// Dynamic range mirrors the idle fraction with opposite sign.
 	if math.Abs(corr.EPvsDynamicRange+corr.EPvsIdleFraction) > 1e-9 {
@@ -396,16 +397,16 @@ func TestFitIdleRegression(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Paper Eq. 2: EP = 1.2969·e^(−2.06·idle), R² 0.892, corr −0.92.
-	if reg.Fit.A < 1.15 || reg.Fit.A > 1.40 {
+	if reg.Fit.A < tol.Eq2AMin || reg.Fit.A > tol.Eq2AMax {
 		t.Errorf("A = %.4f", reg.Fit.A)
 	}
-	if reg.Fit.B > -1.6 || reg.Fit.B < -2.5 {
+	if reg.Fit.B > tol.Eq2BMax || reg.Fit.B < tol.Eq2BMin {
 		t.Errorf("B = %.3f", reg.Fit.B)
 	}
-	if reg.Fit.R2 < 0.80 {
+	if reg.Fit.R2 < tol.Eq2MinR2 {
 		t.Errorf("R² = %.3f", reg.Fit.R2)
 	}
-	if reg.Correlation > -0.85 {
+	if reg.Correlation > tol.CorrEPIdleMax {
 		t.Errorf("correlation = %.3f", reg.Correlation)
 	}
 	if reg.MaxTheoreticalEP != reg.Fit.A {

@@ -1,0 +1,236 @@
+package par
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestFlightForgetForcesFreshExecution pins the Forget contract
+// deterministically: a gated execution is detached mid-flight, a new Do
+// for the key runs fresh while the old one is still executing, and the
+// old call's waiters still receive the old result.
+func TestFlightForgetForcesFreshExecution(t *testing.T) {
+	var f Flight[string, int]
+	gate := make(chan struct{})
+	exec := make(chan int, 1)
+
+	go func() {
+		v, _, _ := f.Do("k", func() (int, error) { <-gate; return 1, nil })
+		exec <- v
+	}()
+	waitForInFlight(t, &f, 1)
+
+	joined := make(chan int, 1)
+	go func() {
+		v, _, shared := f.Do("k", func() (int, error) { return -1, nil })
+		if !shared {
+			t.Error("waiter executed instead of joining the gated call")
+		}
+		joined <- v
+	}()
+	waitForWaiters(t, &f, "k", 1)
+
+	f.Forget("k")
+
+	// The key is detached: a Do issued after the Forget must execute
+	// afresh even though call 1 has not finished.
+	v, err, shared := f.Do("k", func() (int, error) { return 2, nil })
+	if err != nil || shared || v != 2 {
+		t.Fatalf("post-Forget Do = (%d, %v, shared=%v), want fresh (2, nil, false)", v, err, shared)
+	}
+
+	close(gate)
+	if v := <-exec; v != 1 {
+		t.Errorf("gated executor returned %d, want its own result 1", v)
+	}
+	if v := <-joined; v != 1 {
+		t.Errorf("waiter of the forgotten call received %d, want 1", v)
+	}
+
+	// Call 1's deferred cleanup must not have clobbered anything: the
+	// map is empty and the next Do executes fresh again.
+	if n := f.InFlight(); n != 0 {
+		t.Fatalf("InFlight after completion = %d, want 0", n)
+	}
+	if v, _, shared := f.Do("k", func() (int, error) { return 3, nil }); shared || v != 3 {
+		t.Errorf("Do after drain = (%d, shared=%v), want fresh (3, false)", v, shared)
+	}
+}
+
+// waitForInFlight blocks until n keys are executing.
+func waitForInFlight[K comparable, V any](t *testing.T, f *Flight[K, V], n int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for f.InFlight() < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out with %d/%d in-flight keys", f.InFlight(), n)
+		}
+		runtime.Gosched()
+	}
+}
+
+// TestFlightForgetGenerationSafety is the reload-safety property the
+// serving layer relies on: once an invalidation (generation bump then
+// Forget) is visible to a caller, no Do it starts can return a value
+// computed before that invalidation. Writers publish generations and
+// Forget the key; readers snapshot the last published generation before
+// calling Do and require the delivered value to be at least it.
+func TestFlightForgetGenerationSafety(t *testing.T) {
+	const (
+		readers    = 8
+		iterations = 400
+		writes     = 400
+	)
+	var (
+		f         Flight[string, int64]
+		gen       atomic.Int64
+		forgotten atomic.Int64 // highest generation whose Forget completed
+		stale     atomic.Int64
+		wg        sync.WaitGroup
+	)
+	gen.Store(1)
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < writes; i++ {
+			g := gen.Add(1)
+			f.Forget("k")
+			forgotten.Store(g)
+		}
+	}()
+
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iterations; i++ {
+				floor := forgotten.Load()
+				v, err, _ := f.Do("k", func() (int64, error) { return gen.Load(), nil })
+				if err != nil {
+					t.Errorf("Do: %v", err)
+					return
+				}
+				if v < floor {
+					stale.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if n := stale.Load(); n != 0 {
+		t.Fatalf("%d stale deliveries: a Do started after a Forget returned a pre-Forget value", n)
+	}
+	if n := f.InFlight(); n != 0 {
+		t.Fatalf("InFlight after drain = %d, want 0", n)
+	}
+}
+
+// TestRunWorkerCountInvariance is the scheduling-independence property:
+// the same randomized task list produces a bitwise-identical output
+// slice at every worker count.
+func TestRunWorkerCountInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const n = 1000
+	tasks := make([]float64, n)
+	for i := range tasks {
+		tasks[i] = rng.Float64() * 100
+	}
+	compute := func(i int) float64 {
+		// A non-trivial per-item computation whose cost varies by item,
+		// so different worker counts schedule genuinely differently.
+		v := tasks[i]
+		for k := 0; k < 1+i%17; k++ {
+			v = math.Sqrt(v*v + float64(k))
+		}
+		return v
+	}
+
+	var want []float64
+	for _, workers := range []int{1, 2, 4, 8} {
+		out := make([]float64, n)
+		run(n, workers, func(i int) { out[i] = compute(i) })
+		if want == nil {
+			want = out
+			continue
+		}
+		for i := range out {
+			if math.Float64bits(out[i]) != math.Float64bits(want[i]) {
+				t.Fatalf("workers=%d: out[%d] = %v differs from single-worker %v", workers, i, out[i], want[i])
+			}
+		}
+	}
+}
+
+// TestForEachErrPrecedenceInvariance pins that the reported error is
+// the lowest failing index at every worker cap, matching a sequential
+// loop that returns the first error.
+func TestForEachErrPrecedenceInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	const n = 500
+	failing := map[int]bool{}
+	for len(failing) < 40 {
+		failing[rng.Intn(n)] = true
+	}
+	first := n
+	for i := range failing {
+		if i < first {
+			first = i
+		}
+	}
+	want := fmt.Sprintf("task %d failed", first)
+
+	for _, workers := range []int{1, 2, 4, 8} {
+		prev := SetMaxWorkers(workers)
+		err := ForEachErr(n, func(i int) error {
+			if failing[i] {
+				return fmt.Errorf("task %d failed", i)
+			}
+			return nil
+		})
+		SetMaxWorkers(prev)
+		if err == nil || err.Error() != want {
+			t.Errorf("workers=%d: error %v, want %q", workers, err, want)
+		}
+	}
+}
+
+// TestChunksReductionInvariance merges per-chunk partial sums in slice
+// order and requires the result to match the sequential reduction at
+// every worker cap — the contract Chunks documents.
+func TestChunksReductionInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	const n = 997 // prime, so chunk sizes are uneven
+	vals := make([]float64, n)
+	seq := 0.0
+	for i := range vals {
+		vals[i] = rng.Float64()
+		seq += vals[i]
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		prev := SetMaxWorkers(workers)
+		chunks := Chunks(n)
+		partials := make([]float64, len(chunks))
+		ForEach(len(chunks), func(ci int) {
+			s := 0.0
+			for i := chunks[ci].Lo; i < chunks[ci].Hi; i++ {
+				s += vals[i]
+			}
+			partials[ci] = s
+		})
+		SetMaxWorkers(prev)
+		got := 0.0
+		for _, p := range partials {
+			got += p
+		}
+		if math.Abs(got-seq) > 1e-9 {
+			t.Errorf("workers=%d: chunked sum %v differs from sequential %v", workers, got, seq)
+		}
+	}
+}

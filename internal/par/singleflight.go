@@ -57,15 +57,29 @@ func (f *Flight[K, V]) Do(key K, fn func() (V, error)) (v V, err error, shared b
 		}
 		// Drop the call before releasing waiters so a Do that starts
 		// after completion executes afresh instead of reading a stale
-		// result.
+		// result. Forget may already have detached this call and a new
+		// execution may occupy the slot, so only delete our own entry.
 		f.mu.Lock()
-		delete(f.calls, key)
+		if f.calls[key] == c {
+			delete(f.calls, key)
+		}
 		f.mu.Unlock()
 		close(c.done)
 	}()
 	c.val, c.err = fn()
 	normal = true
 	return c.val, c.err, false
+}
+
+// Forget detaches key's in-flight execution, if any: callers already
+// blocked on it still receive its result, but the next Do with the key
+// executes afresh instead of joining the stale call. Invalidation
+// paths (cache reloads, generation bumps) call it so no caller started
+// after the invalidation can observe a value computed before it.
+func (f *Flight[K, V]) Forget(key K) {
+	f.mu.Lock()
+	delete(f.calls, key)
+	f.mu.Unlock()
 }
 
 // InFlight reports the number of keys currently executing, for tests

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/dataset"
 	"repro/internal/stats"
+	"repro/internal/verify/tol"
 )
 
 // corpus caches one generated corpus per seed for the whole test file.
@@ -185,21 +186,21 @@ func TestIdlePowerRegression(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if r > -0.88 || r < -0.98 {
-		t.Errorf("corr(EP, idle) = %.3f, want ≈ −0.92", r)
+	if r > tol.CorrEPIdleMax || r < tol.CorrEPIdleMin {
+		t.Errorf("corr(EP, idle) = %.3f, want ≈ %v", r, tol.CorrEPIdleTarget)
 	}
 	fit, err := stats.ExponentialRegression(idles, eps)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if fit.A < 1.15 || fit.A > 1.40 {
-		t.Errorf("Eq.2 A = %.4f, want ≈ 1.2969", fit.A)
+	if fit.A < tol.Eq2AMin || fit.A > tol.Eq2AMax {
+		t.Errorf("Eq.2 A = %.4f, want ≈ %v", fit.A, tol.Eq2ATarget)
 	}
-	if fit.B > -1.6 || fit.B < -2.5 {
-		t.Errorf("Eq.2 B = %.3f, want ≈ −2.06", fit.B)
+	if fit.B > tol.Eq2BMax || fit.B < tol.Eq2BMin {
+		t.Errorf("Eq.2 B = %.3f, want ≈ %v", fit.B, tol.Eq2BTarget)
 	}
-	if fit.R2 < 0.82 || fit.R2 > 0.96 {
-		t.Errorf("Eq.2 R² = %.3f, want ≈ 0.892", fit.R2)
+	if fit.R2 < tol.Eq2MinR2 || fit.R2 > tol.Eq2MaxR2 {
+		t.Errorf("Eq.2 R² = %.3f, want ≈ %v", fit.R2, tol.Eq2R2Target)
 	}
 }
 
@@ -209,8 +210,8 @@ func TestEPEECorrelation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if r < 0.60 || r > 0.82 {
-		t.Errorf("corr(EP, overall EE) = %.3f, want ≈ 0.741", r)
+	if r < tol.CorrEPEEMin || r > tol.CorrEPEEMax {
+		t.Errorf("corr(EP, overall EE) = %.3f, want ≈ %v", r, tol.CorrEPEETarget)
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/dataset"
 	"repro/internal/stats"
+	"repro/internal/verify/tol"
 )
 
 // Check is one calibration assertion against a paper target.
@@ -73,19 +74,21 @@ func CalibrationCheck(rp *dataset.Repository) ([]Check, error) {
 	if err != nil {
 		return nil, err
 	}
-	add("corr(EP, idle%)", "-0.92", fmt.Sprintf("%.3f", corrIdle), corrIdle < -0.85 && corrIdle > -0.99)
+	add("corr(EP, idle%)", "-0.92", fmt.Sprintf("%.3f", corrIdle),
+		corrIdle < tol.CalCorrEPIdleMax && corrIdle > tol.CalCorrEPIdleMin)
 	fit, err := stats.ExponentialRegression(idles, eps)
 	if err != nil {
 		return nil, err
 	}
-	add("Eq.2 R²", "0.892", fmt.Sprintf("%.3f", fit.R2), fit.R2 > 0.80)
-	add("Eq.2 A", "1.2969", fmt.Sprintf("%.3f", fit.A), fit.A > 1.1 && fit.A < 1.45)
+	add("Eq.2 R²", "0.892", fmt.Sprintf("%.3f", fit.R2), fit.R2 > tol.CalEq2MinR2)
+	add("Eq.2 A", "1.2969", fmt.Sprintf("%.3f", fit.A), fit.A > tol.CalEq2AMin && fit.A < tol.CalEq2AMax)
 
 	corrEE, err := stats.Pearson(eps, valid.OverallEEs())
 	if err != nil {
 		return nil, err
 	}
-	add("corr(EP, overall EE)", "0.741", fmt.Sprintf("%.3f", corrEE), corrEE > 0.55 && corrEE < 0.85)
+	add("corr(EP, overall EE)", "0.741", fmt.Sprintf("%.3f", corrEE),
+		corrEE > tol.CalCorrEPEEMin && corrEE < tol.CalCorrEPEEMax)
 
 	// Peak-spot shares.
 	spotCount := make(map[float64]int)
