@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build vet test race bench report report-html verify calibrate fuzz serve selftest examples clean
+.PHONY: all check build vet test race bench fleetbench report report-html verify calibrate fuzz serve selftest examples clean
 
 all: check
 
@@ -26,6 +26,12 @@ race:
 # One benchmark per paper table/figure; prints each regenerated series once.
 bench:
 	$(GO) test -bench=. -benchmem -count=1
+
+# Fleet-scale smoke: one iteration of each 10k/100k-server benchmark
+# (composition, generation, codec) to catch fast-path regressions
+# without the full benchtime cost.
+fleetbench:
+	$(GO) test -run '^$$' -bench 'BenchmarkFleet' -benchtime 1x .
 
 # The full evaluation section as text / standalone HTML.
 report:

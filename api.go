@@ -8,6 +8,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/par"
 	"repro/internal/placement"
 	"repro/internal/power"
 	"repro/internal/report"
@@ -88,10 +89,21 @@ func ReadJSON(r io.Reader) ([]*Result, error) { return dataset.ReadJSON(r) }
 // WriteJSON writes results as an indented JSON array.
 func WriteJSON(w io.Writer, rs []*Result) error { return dataset.WriteJSON(w, rs) }
 
+// ReadBinary parses results from the compact binary corpus encoding —
+// the fleet-scale format that round-trips 100k-server corpora in
+// milliseconds where CSV/JSON parse in seconds.
+func ReadBinary(r io.Reader) ([]*Result, error) { return dataset.ReadBinary(r) }
+
+// WriteBinary writes results in the compact binary corpus encoding.
+// Every float round-trips bit-for-bit.
+func WriteBinary(w io.Writer, rs []*Result) error { return dataset.WriteBinary(w, rs) }
+
 // Synthetic corpus (internal/synth).
 type (
 	// SynthConfig seeds corpus generation.
 	SynthConfig = synth.Config
+	// FleetConfig sizes and seeds fleet-scale corpus generation.
+	FleetConfig = synth.FleetConfig
 )
 
 // GenerateCorpus produces the full 517-submission synthetic corpus
@@ -100,6 +112,25 @@ func GenerateCorpus(cfg SynthConfig) (*Repository, error) { return synth.NewRepo
 
 // GenerateValidResults produces only the 477 compliant results.
 func GenerateValidResults(cfg SynthConfig) ([]*Result, error) { return synth.GenerateValid(cfg) }
+
+// GenerateFleet produces a fleet of cfg.Servers synthetic results
+// sampled from the same calibrated plan tables as the default corpus.
+// Generation shards across CPUs on fixed-size RNG streams, so the
+// output depends only on the seed and fleet size — never on the worker
+// count — and smaller fleets are strict prefixes of larger ones.
+func GenerateFleet(cfg FleetConfig) ([]*Result, error) { return synth.GenerateFleet(cfg) }
+
+// FleetProfiles derives placement profiles from fleet results in
+// parallel, ready for ComposeCluster and the placement planners.
+func FleetProfiles(results []*Result) ([]*PlacementProfile, error) {
+	return par.MapErr(len(results), func(i int) (*PlacementProfile, error) {
+		c, err := results[i].Curve()
+		if err != nil {
+			return nil, err
+		}
+		return placement.NewProfile(results[i].ID, c)
+	})
+}
 
 // Analyses (internal/analysis).
 type (

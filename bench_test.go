@@ -9,7 +9,9 @@
 package repro_test
 
 import (
+	"bytes"
 	"fmt"
+	"io"
 	"sync"
 	"testing"
 
@@ -625,6 +627,127 @@ func BenchmarkFullReportCold(b *testing.B) {
 			b.Fatal(err)
 		}
 		if _, err := report.Full(rp.Valid(), opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Fleet-scale benchmarks: cluster composition, fleet generation, and
+// the corpus codecs at the 10k-100k server scale the ROADMAP targets.
+// Before/after numbers for the fast-path rewrite live in
+// BENCH_fleet.json.
+
+// benchFleetProfiles builds an n-server fleet by replicating the
+// 2009-2016 corpus profiles.
+func benchFleetProfiles(b *testing.B, n int) []*repro.PlacementProfile {
+	b.Helper()
+	rp := benchCorpus(b)
+	servers := rp.YearRange(2009, 2016).All()
+	fleet := make([]*repro.PlacementProfile, n)
+	for i := 0; i < n; i++ {
+		r := servers[i%len(servers)]
+		p, err := repro.NewPlacementProfile(fmt.Sprintf("%s-%d", r.ID, i), r.MustCurve())
+		if err != nil {
+			b.Fatal(err)
+		}
+		fleet[i] = p
+	}
+	return fleet
+}
+
+func benchmarkFleetCompose(b *testing.B, n int) {
+	fleet := benchFleetProfiles(b, n)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		agg, err := repro.ComposeCluster(fleet, repro.PolicyPack)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if agg.EP() <= 0 {
+			b.Fatal("non-positive cluster EP")
+		}
+	}
+}
+
+func BenchmarkFleetCompose10k(b *testing.B)  { benchmarkFleetCompose(b, 10_000) }
+func BenchmarkFleetCompose100k(b *testing.B) { benchmarkFleetCompose(b, 100_000) }
+
+func BenchmarkFleetCompare1k(b *testing.B) {
+	fleet := benchFleetProfiles(b, 1_000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := repro.CompareClusterPolicies(fleet); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFleetGenerate10k times the sharded fleet synthesizer.
+func BenchmarkFleetGenerate10k(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rs, err := repro.GenerateFleet(repro.FleetConfig{Seed: 1, Servers: 10_000})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rs) != 10_000 {
+			b.Fatalf("got %d servers", len(rs))
+		}
+	}
+}
+
+// benchmarkFleetRead times parsing a 10k-server corpus from one codec.
+func benchmarkFleetRead(b *testing.B,
+	write func(io.Writer, []*repro.Result) error,
+	read func(io.Reader) ([]*repro.Result, error)) {
+	b.Helper()
+	rs, err := repro.GenerateFleet(repro.FleetConfig{Seed: 1, Servers: 10_000})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := write(&buf, rs); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		got, err := read(bytes.NewReader(data))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(got) != len(rs) {
+			b.Fatalf("got %d results", len(got))
+		}
+	}
+}
+
+func BenchmarkFleetReadBinary10k(b *testing.B) {
+	benchmarkFleetRead(b, repro.WriteBinary, repro.ReadBinary)
+}
+
+func BenchmarkFleetReadCSV10k(b *testing.B) {
+	benchmarkFleetRead(b, repro.WriteCSV, repro.ReadCSV)
+}
+
+func BenchmarkFleetReadJSON10k(b *testing.B) {
+	benchmarkFleetRead(b, repro.WriteJSON, repro.ReadJSON)
+}
+
+func BenchmarkFleetWriteBinary10k(b *testing.B) {
+	rs, err := repro.GenerateFleet(repro.FleetConfig{Seed: 1, Servers: 10_000})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := repro.WriteBinary(&buf, rs); err != nil {
 			b.Fatal(err)
 		}
 	}

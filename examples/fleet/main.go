@@ -6,16 +6,55 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
+	"time"
 
 	"repro"
 )
 
 func main() {
-	if err := run(); err != nil {
+	servers := flag.Int("servers", 0,
+		"generate a synthetic fleet of this size and compare cluster policies over it (0 = corpus demo)")
+	flag.Parse()
+	var err error
+	if *servers > 0 {
+		err = runFleet(*servers)
+	} else {
+		err = run()
+	}
+	if err != nil {
 		log.Fatal(err)
 	}
+}
+
+// runFleet exercises the fleet-scale path: a sharded synthetic fleet,
+// flattened placement profiles, and the policy comparison over the
+// whole fleet at once.
+func runFleet(servers int) error {
+	start := time.Now()
+	fleet, err := repro.GenerateFleet(repro.FleetConfig{Seed: 1, Servers: servers})
+	if err != nil {
+		return err
+	}
+	profiles, err := repro.FleetProfiles(fleet)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("generated %d-server fleet in %v\n\n", servers, time.Since(start).Round(time.Millisecond))
+
+	start = time.Now()
+	cmp, err := repro.CompareClusterPolicies(profiles)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("cluster policies over %d members (%v):\n", cmp.Members, time.Since(start).Round(time.Millisecond))
+	for _, row := range cmp.Rows {
+		fmt.Printf("  %-14v EP %.3f  idle fraction %.3f  half-load %.0f W\n",
+			row.Policy, row.EP, row.IdleFraction, row.HalfLoadWatts)
+	}
+	return nil
 }
 
 func run() error {

@@ -26,8 +26,10 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 
 	"repro/internal/core"
+	"repro/internal/par"
 	"repro/internal/placement"
 )
 
@@ -126,80 +128,160 @@ func (a Aggregate) Curve() (*core.Curve, error) {
 const gridSteps = 100
 
 // Compose builds the aggregate curve of the member servers under the
-// policy.
+// policy. Grid evaluation is sharded over internal/par; every grid
+// point depends only on the precomputed fleet arrays and its own demand
+// value, so the output is identical at any worker count.
 func Compose(members []*placement.Profile, policy Policy) (Aggregate, error) {
 	if len(members) == 0 {
 		return Aggregate{}, errors.New("cluster: no members")
 	}
-	var capacity float64
-	for _, m := range members {
-		capacity += m.MaxOps
+	ev, err := newEvaluator(members, policy)
+	if err != nil {
+		return Aggregate{}, err
 	}
-	if capacity <= 0 {
+	if ev.capacity <= 0 {
 		return Aggregate{}, errors.New("cluster: zero capacity")
 	}
 	agg := Aggregate{
-		Utilizations: make([]float64, 0, gridSteps+1),
-		PowerWatts:   make([]float64, 0, gridSteps+1),
-		CapacityOps:  capacity,
+		Utilizations: make([]float64, gridSteps+1),
+		PowerWatts:   make([]float64, gridSteps+1),
+		CapacityOps:  ev.capacity,
 		Policy:       policy,
 	}
-	for step := 0; step <= gridSteps; step++ {
-		u := float64(step) / gridSteps
-		watts, err := powerAt(members, capacity*u, policy)
-		if err != nil {
-			return Aggregate{}, fmt.Errorf("cluster: at utilization %.2f: %w", u, err)
+	chunks := par.Chunks(gridSteps + 1)
+	par.ForEach(len(chunks), func(ci int) {
+		sc := ev.newScratch()
+		for g := chunks[ci].Lo; g < chunks[ci].Hi; g++ {
+			u := float64(g) / gridSteps
+			agg.Utilizations[g] = u
+			agg.PowerWatts[g] = ev.powerAt(ev.capacity*u, sc)
 		}
-		agg.Utilizations = append(agg.Utilizations, u)
-		agg.PowerWatts = append(agg.PowerWatts, watts)
-	}
+	})
 	return agg, nil
 }
 
-// powerAt computes the cluster's power when serving demandOps under
-// the policy.
-func powerAt(members []*placement.Profile, demandOps float64, policy Policy) (float64, error) {
+// evaluator holds the per-fleet state precomputed once per Compose so
+// each demand point evaluates without sorting, allocating, or scanning
+// more members than necessary:
+//
+//   - Pack/PackPowerOff: prefix sums of member capacity and peak power
+//     plus a suffix sum of idle power turn the linear fill scan into a
+//     binary search — O(log n) per demand point instead of O(n).
+//   - Spread: the capacity total is computed once instead of once per
+//     grid step.
+//   - OptimalRegion: the fleet is sorted into engage order once; each
+//     point runs placement.ProportionalFill on a reusable scratch slice
+//     instead of re-sorting and re-allocating a full Plan.
+type evaluator struct {
+	policy   Policy
+	members  []*placement.Profile
+	capacity float64
+	// idleW is the whole-fleet idle draw summed in member order — the
+	// demand<=0 answer for Pack and OptimalRegion.
+	idleW float64
+	// Pack/PackPowerOff arrays, all len(members)+1: cumOps[k] and
+	// cumPeakW[k] cover members[:k]; sufIdleW[k] covers members[k:].
+	cumOps   []float64
+	cumPeakW []float64
+	sufIdleW []float64
+	// order is the OptimalRegion engage order.
+	order []*placement.Profile
+}
+
+// scratch is the per-worker mutable state for one grid chunk.
+type scratch struct {
+	util []float64
+}
+
+func newEvaluator(members []*placement.Profile, policy Policy) (*evaluator, error) {
+	n := len(members)
+	ev := &evaluator{policy: policy, members: members}
 	switch policy {
 	case PolicySpread:
-		var watts float64
-		var capacity float64
 		for _, m := range members {
-			capacity += m.MaxOps
+			ev.capacity += m.MaxOps
 		}
-		u := math.Min(1, demandOps/capacity)
-		for _, m := range members {
-			watts += m.PowerAt(u)
-		}
-		return watts, nil
 	case PolicyPack, PolicyPackPowerOff:
-		var watts float64
-		remaining := demandOps
+		ev.cumOps = make([]float64, n+1)
+		ev.cumPeakW = make([]float64, n+1)
+		ev.sufIdleW = make([]float64, n+1)
+		for i, m := range members {
+			ev.cumOps[i+1] = ev.cumOps[i] + m.MaxOps
+			ev.cumPeakW[i+1] = ev.cumPeakW[i] + m.PowerAt(1)
+		}
+		for i := n - 1; i >= 0; i-- {
+			ev.sufIdleW[i] = ev.sufIdleW[i+1] + members[i].PowerAt(0)
+		}
+		// The prefix chain accumulates in the same left-to-right order the
+		// sequential scan did, so capacity matches it bit-for-bit.
+		ev.capacity = ev.cumOps[n]
 		for _, m := range members {
-			take := math.Min(m.MaxOps, remaining)
-			remaining -= take
-			u := take / m.MaxOps
-			if u == 0 && policy == PolicyPackPowerOff {
-				continue
-			}
+			ev.idleW += m.PowerAt(0)
+		}
+	case PolicyOptimalRegion:
+		for _, m := range members {
+			ev.capacity += m.MaxOps
+			ev.idleW += m.PowerAt(0)
+		}
+		ev.order = placement.EngageOrder(members)
+	default:
+		return nil, fmt.Errorf("cluster: unknown policy %d", policy)
+	}
+	return ev, nil
+}
+
+// newScratch allocates the mutable state one worker needs; each grid
+// chunk gets its own so shards never share writable slices.
+func (ev *evaluator) newScratch() *scratch {
+	if ev.policy == PolicyOptimalRegion {
+		return &scratch{util: make([]float64, len(ev.order))}
+	}
+	return &scratch{}
+}
+
+// powerAt computes the cluster's power when serving demandOps. The
+// policy was validated at evaluator construction, so it cannot fail.
+func (ev *evaluator) powerAt(demandOps float64, sc *scratch) float64 {
+	switch ev.policy {
+	case PolicySpread:
+		u := math.Min(1, demandOps/ev.capacity)
+		var watts float64
+		for _, m := range ev.members {
 			watts += m.PowerAt(u)
 		}
-		return watts, nil
+		return watts
+	case PolicyPack, PolicyPackPowerOff:
+		if demandOps <= 0 {
+			if ev.policy == PolicyPackPowerOff {
+				return 0
+			}
+			return ev.idleW
+		}
+		// First k with cumulative capacity >= demand: members[:k-1] run
+		// full, members[k-1] takes the remainder, members[k:] idle.
+		k := sort.SearchFloat64s(ev.cumOps, demandOps)
+		if k > len(ev.members) {
+			k = len(ev.members)
+		}
+		last := ev.members[k-1]
+		watts := ev.cumPeakW[k-1] + last.PowerAt((demandOps-ev.cumOps[k-1])/last.MaxOps)
+		if ev.policy == PolicyPack {
+			watts += ev.sufIdleW[k]
+		}
+		return watts
 	case PolicyOptimalRegion:
 		if demandOps <= 0 {
 			// All members idle.
-			var watts float64
-			for _, m := range members {
-				watts += m.PowerAt(0)
-			}
-			return watts, nil
+			return ev.idleW
 		}
-		plan, err := placement.PlaceProportional(members, demandOps, placement.Options{})
-		if err != nil {
-			return 0, err
+		placement.ProportionalFill(ev.order, demandOps, sc.util)
+		var watts float64
+		for i, s := range ev.order {
+			watts += s.PowerAt(sc.util[i])
 		}
-		return plan.TotalPower, nil
+		return watts
 	default:
-		return 0, fmt.Errorf("cluster: unknown policy %d", policy)
+		return 0
 	}
 }
 
@@ -219,23 +301,27 @@ type ComparisonRow struct {
 	HalfLoadWatts float64
 }
 
-// Compare composes the members under every policy.
+// Compare composes the members under every policy. Policies evaluate
+// in parallel; rows land at their policy's index, so the table is the
+// same at any worker count.
 func Compare(members []*placement.Profile) (Comparison, error) {
-	cmp := Comparison{Members: len(members)}
-	for _, policy := range AllPolicies() {
-		agg, err := Compose(members, policy)
+	policies := AllPolicies()
+	rows, err := par.MapErr(len(policies), func(i int) (ComparisonRow, error) {
+		agg, err := Compose(members, policies[i])
 		if err != nil {
-			return Comparison{}, err
+			return ComparisonRow{}, err
 		}
-		half := agg.PowerWatts[len(agg.PowerWatts)/2]
-		cmp.Rows = append(cmp.Rows, ComparisonRow{
-			Policy:        policy,
+		return ComparisonRow{
+			Policy:        policies[i],
 			EP:            agg.EP(),
 			IdleFraction:  agg.IdleFraction(),
-			HalfLoadWatts: half,
-		})
+			HalfLoadWatts: agg.PowerWatts[len(agg.PowerWatts)/2],
+		}, nil
+	})
+	if err != nil {
+		return Comparison{}, err
 	}
-	return cmp, nil
+	return Comparison{Members: len(members), Rows: rows}, nil
 }
 
 // ScalingPoint is one cluster size in a scaling study.
@@ -248,22 +334,22 @@ type ScalingPoint struct {
 // sizes and reports cluster EP under the policy — the computational
 // counterpart of the paper's Fig. 13 economies-of-scale observation.
 func ScalingStudy(prototype *placement.Profile, sizes []int, policy Policy) ([]ScalingPoint, error) {
-	out := make([]ScalingPoint, 0, len(sizes))
 	for _, n := range sizes {
 		if n < 1 {
 			return nil, fmt.Errorf("cluster: invalid size %d", n)
 		}
-		members := make([]*placement.Profile, n)
-		for i := range members {
-			members[i] = prototype
+	}
+	return par.MapErr(len(sizes), func(i int) (ScalingPoint, error) {
+		members := make([]*placement.Profile, sizes[i])
+		for j := range members {
+			members[j] = prototype
 		}
 		agg, err := Compose(members, policy)
 		if err != nil {
-			return nil, err
+			return ScalingPoint{}, err
 		}
-		out = append(out, ScalingPoint{Nodes: n, EP: agg.EP()})
-	}
-	return out, nil
+		return ScalingPoint{Nodes: sizes[i], EP: agg.EP()}, nil
+	})
 }
 
 // KnightShift composes a primary server with a low-power companion

@@ -1,0 +1,228 @@
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"math"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"repro/internal/par"
+	"repro/internal/placement"
+)
+
+// randomProfile builds a valid profile with a random strictly-increasing
+// power shape, random idle fraction, and random peak/capacity scale.
+func randomProfile(t *testing.T, rng *rand.Rand) *placement.Profile {
+	t.Helper()
+	idleFrac := 0.05 + 0.6*rng.Float64()
+	norm := make([]float64, 10)
+	v := idleFrac
+	for i := range norm {
+		v += 0.01 + rng.Float64()*0.2
+		norm[i] = v
+	}
+	for i := range norm {
+		norm[i] /= v // peak normalizes to 1
+	}
+	return profileFrom(t, idleFrac/v, norm, 100+400*rng.Float64(), 1e5+1e6*rng.Float64())
+}
+
+// referencePowerAt is the pre-prefix-sum linear-scan evaluator, kept
+// verbatim as the property-test oracle for the O(log n) pack path and
+// the shared-capacity spread path.
+func referencePowerAt(members []*placement.Profile, demandOps float64, policy Policy) float64 {
+	switch policy {
+	case PolicySpread:
+		var watts, capacity float64
+		for _, m := range members {
+			capacity += m.MaxOps
+		}
+		u := math.Min(1, demandOps/capacity)
+		for _, m := range members {
+			watts += m.PowerAt(u)
+		}
+		return watts
+	case PolicyPack, PolicyPackPowerOff:
+		var watts float64
+		remaining := demandOps
+		for _, m := range members {
+			take := math.Min(m.MaxOps, remaining)
+			remaining -= take
+			u := take / m.MaxOps
+			if u == 0 && policy == PolicyPackPowerOff {
+				continue
+			}
+			watts += m.PowerAt(u)
+		}
+		return watts
+	case PolicyOptimalRegion:
+		if demandOps <= 0 {
+			var watts float64
+			for _, m := range members {
+				watts += m.PowerAt(0)
+			}
+			return watts
+		}
+		plan, err := placement.PlaceProportional(members, demandOps, placement.Options{})
+		if err != nil {
+			panic(err)
+		}
+		return plan.TotalPower
+	default:
+		panic("unknown policy")
+	}
+}
+
+// TestComposeMatchesLinearScan checks every policy's fast path against
+// the linear-scan oracle over random heterogeneous fleets. The prefix
+// and suffix sums regroup float additions, so the comparison allows a
+// tight relative tolerance rather than exact equality.
+func TestComposeMatchesLinearScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(40)
+		members := make([]*placement.Profile, n)
+		for i := range members {
+			members[i] = randomProfile(t, rng)
+		}
+		var capacity float64
+		for _, m := range members {
+			capacity += m.MaxOps
+		}
+		for _, policy := range AllPolicies() {
+			agg, err := Compose(members, policy)
+			if err != nil {
+				t.Fatalf("trial %d %v: %v", trial, policy, err)
+			}
+			for g, u := range agg.Utilizations {
+				want := referencePowerAt(members, capacity*u, policy)
+				got := agg.PowerWatts[g]
+				if math.Abs(got-want) > 1e-9*math.Max(1, math.Abs(want)) {
+					t.Fatalf("trial %d %v u=%.2f: fast path %v, linear scan %v",
+						trial, policy, u, got, want)
+				}
+			}
+		}
+	}
+}
+
+// aggregateDigest hashes an aggregate's exact float bits.
+func aggregateDigest(a Aggregate) [32]byte {
+	h := sha256.New()
+	var buf [8]byte
+	put := func(v float64) {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+		h.Write(buf[:])
+	}
+	for _, u := range a.Utilizations {
+		put(u)
+	}
+	for _, w := range a.PowerWatts {
+		put(w)
+	}
+	put(a.CapacityOps)
+	var out [32]byte
+	h.Sum(out[:0])
+	return out
+}
+
+func comparisonDigest(c Comparison) [32]byte {
+	h := sha256.New()
+	var buf [8]byte
+	put := func(v float64) {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+		h.Write(buf[:])
+	}
+	for _, row := range c.Rows {
+		buf[0] = byte(row.Policy)
+		h.Write(buf[:1])
+		put(row.EP)
+		put(row.IdleFraction)
+		put(row.HalfLoadWatts)
+	}
+	var out [32]byte
+	h.Sum(out[:0])
+	return out
+}
+
+// TestComposeWorkerInvariance pins the sharding contract: Compose and
+// Compare produce bit-identical output at worker counts 1, 2 and 8.
+// GOMAXPROCS is raised so the pool actually schedules multiple workers
+// even on single-CPU machines.
+func TestComposeWorkerInvariance(t *testing.T) {
+	prev := runtime.GOMAXPROCS(8)
+	defer runtime.GOMAXPROCS(prev)
+
+	rng := rand.New(rand.NewSource(11))
+	members := make([]*placement.Profile, 37)
+	for i := range members {
+		members[i] = randomProfile(t, rng)
+	}
+
+	type digests struct {
+		compose map[Policy][32]byte
+		compare [32]byte
+	}
+	runAt := func(workers int) digests {
+		prevCap := par.SetMaxWorkers(workers)
+		defer par.SetMaxWorkers(prevCap)
+		d := digests{compose: make(map[Policy][32]byte)}
+		for _, policy := range AllPolicies() {
+			agg, err := Compose(members, policy)
+			if err != nil {
+				t.Fatal(err)
+			}
+			d.compose[policy] = aggregateDigest(agg)
+		}
+		cmp, err := Compare(members)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d.compare = comparisonDigest(cmp)
+		return d
+	}
+
+	base := runAt(1)
+	for _, workers := range []int{2, 8} {
+		got := runAt(workers)
+		for _, policy := range AllPolicies() {
+			if got.compose[policy] != base.compose[policy] {
+				t.Errorf("Compose(%v) digest differs at %d workers", policy, workers)
+			}
+		}
+		if got.compare != base.compare {
+			t.Errorf("Compare digest differs at %d workers", workers)
+		}
+	}
+}
+
+// TestScalingStudyWorkerInvariance covers the third sharded entry
+// point the same way.
+func TestScalingStudyWorkerInvariance(t *testing.T) {
+	prev := runtime.GOMAXPROCS(8)
+	defer runtime.GOMAXPROCS(prev)
+
+	proto := linearProfile(t, 0.4)
+	sizes := []int{1, 2, 4, 8, 16, 32}
+	runAt := func(workers int) []ScalingPoint {
+		prevCap := par.SetMaxWorkers(workers)
+		defer par.SetMaxWorkers(prevCap)
+		pts, err := ScalingStudy(proto, sizes, PolicyPackPowerOff)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pts
+	}
+	base := runAt(1)
+	for _, workers := range []int{2, 8} {
+		got := runAt(workers)
+		for i := range base {
+			if got[i] != base[i] {
+				t.Errorf("scaling point %d differs at %d workers: %+v vs %+v",
+					i, workers, got[i], base[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,313 @@
+package dataset
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/microarch"
+)
+
+// Binary corpus codec: a compact, streaming, length-prefixed encoding
+// for fleet-scale corpora where CSV/JSON parse time dominates. The
+// layout is
+//
+//	magic "EPFB" | uvarint version
+//	repeated records: uvarint payload length | payload
+//
+// terminated by EOF. Each payload encodes the Result fields in struct
+// order: strings as uvarint-length-prefixed bytes, integers as zigzag
+// varints, floats as 8-byte little-endian IEEE 754 bits (so every value
+// round-trips bit-for-bit, like the codecs' shortest-representation
+// decimal forms), and Levels as a uvarint count followed by the four
+// floats of each level. Unlike CSV — which flattens to exactly ten
+// levels and re-derives the target-load grid — the binary form
+// preserves variable-length level lists exactly.
+
+var binaryMagic = [4]byte{'E', 'P', 'F', 'B'}
+
+const (
+	binaryVersion = 1
+	// maxBinaryRecord bounds one record's payload so a corrupt length
+	// prefix fails cleanly instead of attempting a huge allocation.
+	maxBinaryRecord = 1 << 20
+)
+
+// BinaryWriter streams results into the binary corpus encoding.
+type BinaryWriter struct {
+	w   *bufio.Writer
+	buf []byte
+}
+
+// NewBinaryWriter writes the format header and returns a writer.
+// Call Flush after the last record.
+func NewBinaryWriter(w io.Writer) (*BinaryWriter, error) {
+	bw := &BinaryWriter{w: bufio.NewWriter(w)}
+	if _, err := bw.w.Write(binaryMagic[:]); err != nil {
+		return nil, fmt.Errorf("dataset: write binary header: %w", err)
+	}
+	var hdr [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(hdr[:], binaryVersion)
+	if _, err := bw.w.Write(hdr[:n]); err != nil {
+		return nil, fmt.Errorf("dataset: write binary header: %w", err)
+	}
+	return bw, nil
+}
+
+// Write appends one result record.
+func (bw *BinaryWriter) Write(r *Result) error {
+	bw.buf = appendBinaryResult(bw.buf[:0], r)
+	var pfx [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(pfx[:], uint64(len(bw.buf)))
+	if _, err := bw.w.Write(pfx[:n]); err != nil {
+		return fmt.Errorf("dataset: write binary record %s: %w", r.ID, err)
+	}
+	if _, err := bw.w.Write(bw.buf); err != nil {
+		return fmt.Errorf("dataset: write binary record %s: %w", r.ID, err)
+	}
+	return nil
+}
+
+// Flush drains the writer's buffer to the underlying stream.
+func (bw *BinaryWriter) Flush() error {
+	if err := bw.w.Flush(); err != nil {
+		return fmt.Errorf("dataset: flush binary: %w", err)
+	}
+	return nil
+}
+
+func appendUvarint(b []byte, v uint64) []byte {
+	var tmp [binary.MaxVarintLen64]byte
+	return append(b, tmp[:binary.PutUvarint(tmp[:], v)]...)
+}
+
+func appendVarint(b []byte, v int64) []byte {
+	var tmp [binary.MaxVarintLen64]byte
+	return append(b, tmp[:binary.PutVarint(tmp[:], v)]...)
+}
+
+func appendString(b []byte, s string) []byte {
+	b = appendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+func appendFloat(b []byte, v float64) []byte {
+	var tmp [8]byte
+	binary.LittleEndian.PutUint64(tmp[:], math.Float64bits(v))
+	return append(b, tmp[:]...)
+}
+
+func appendBinaryResult(b []byte, r *Result) []byte {
+	b = appendString(b, r.ID)
+	b = appendString(b, r.Vendor)
+	b = appendString(b, r.System)
+	b = appendVarint(b, int64(r.FormFactor))
+	b = appendVarint(b, int64(r.PublishedYear))
+	b = appendVarint(b, int64(r.PublishedQuarter))
+	b = appendVarint(b, int64(r.HWAvailYear))
+	b = appendVarint(b, int64(r.HWAvailQuarter))
+	b = appendVarint(b, int64(r.Nodes))
+	b = appendVarint(b, int64(r.Chips))
+	b = appendVarint(b, int64(r.CoresPerChip))
+	b = appendString(b, r.CPUModel)
+	b = appendVarint(b, int64(r.Codename))
+	b = appendFloat(b, r.NominalGHz)
+	b = appendString(b, r.JVM)
+	b = appendString(b, r.OS)
+	b = appendFloat(b, r.MemoryGB)
+	b = appendFloat(b, r.ActiveIdleWatts)
+	b = appendUvarint(b, uint64(len(r.Levels)))
+	for _, lv := range r.Levels {
+		b = appendFloat(b, lv.TargetLoad)
+		b = appendFloat(b, lv.ActualLoad)
+		b = appendFloat(b, lv.OpsPerSec)
+		b = appendFloat(b, lv.AvgPowerWatts)
+	}
+	return b
+}
+
+// BinaryReader streams results out of the binary corpus encoding.
+type BinaryReader struct {
+	r   *bufio.Reader
+	buf []byte
+}
+
+// NewBinaryReader checks the format header and returns a reader.
+func NewBinaryReader(r io.Reader) (*BinaryReader, error) {
+	br := &BinaryReader{r: bufio.NewReader(r)}
+	var magic [4]byte
+	if _, err := io.ReadFull(br.r, magic[:]); err != nil {
+		return nil, fmt.Errorf("dataset: read binary header: %w", err)
+	}
+	if magic != binaryMagic {
+		return nil, fmt.Errorf("dataset: bad binary magic %q", magic[:])
+	}
+	version, err := binary.ReadUvarint(br.r)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: read binary version: %w", err)
+	}
+	if version != binaryVersion {
+		return nil, fmt.Errorf("dataset: unsupported binary version %d (want %d)", version, binaryVersion)
+	}
+	return br, nil
+}
+
+// Read returns the next record, or io.EOF after the last one.
+func (br *BinaryReader) Read() (*Result, error) {
+	size, err := binary.ReadUvarint(br.r)
+	if err == io.EOF {
+		return nil, io.EOF
+	}
+	if err != nil {
+		return nil, fmt.Errorf("dataset: read binary record length: %w", err)
+	}
+	if size > maxBinaryRecord {
+		return nil, fmt.Errorf("dataset: binary record length %d exceeds limit %d", size, maxBinaryRecord)
+	}
+	if cap(br.buf) < int(size) {
+		br.buf = make([]byte, size)
+	}
+	br.buf = br.buf[:size]
+	if _, err := io.ReadFull(br.r, br.buf); err != nil {
+		return nil, fmt.Errorf("dataset: read binary record: %w", err)
+	}
+	return decodeBinaryResult(br.buf)
+}
+
+type binaryDecoder struct {
+	b   []byte
+	err error
+}
+
+func (d *binaryDecoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.b)
+	if n <= 0 {
+		d.err = fmt.Errorf("dataset: truncated binary varint")
+		return 0
+	}
+	d.b = d.b[n:]
+	return v
+}
+
+func (d *binaryDecoder) varint() int {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.b)
+	if n <= 0 {
+		d.err = fmt.Errorf("dataset: truncated binary varint")
+		return 0
+	}
+	d.b = d.b[n:]
+	return int(v)
+}
+
+func (d *binaryDecoder) string() string {
+	n := d.uvarint()
+	if d.err != nil {
+		return ""
+	}
+	if uint64(len(d.b)) < n {
+		d.err = fmt.Errorf("dataset: truncated binary string")
+		return ""
+	}
+	s := string(d.b[:n])
+	d.b = d.b[n:]
+	return s
+}
+
+func (d *binaryDecoder) float() float64 {
+	if d.err != nil {
+		return 0
+	}
+	if len(d.b) < 8 {
+		d.err = fmt.Errorf("dataset: truncated binary float")
+		return 0
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(d.b))
+	d.b = d.b[8:]
+	return v
+}
+
+func decodeBinaryResult(payload []byte) (*Result, error) {
+	d := &binaryDecoder{b: payload}
+	var r Result
+	r.ID = d.string()
+	r.Vendor = d.string()
+	r.System = d.string()
+	r.FormFactor = FormFactor(d.varint())
+	r.PublishedYear = d.varint()
+	r.PublishedQuarter = d.varint()
+	r.HWAvailYear = d.varint()
+	r.HWAvailQuarter = d.varint()
+	r.Nodes = d.varint()
+	r.Chips = d.varint()
+	r.CoresPerChip = d.varint()
+	r.CPUModel = d.string()
+	r.Codename = microarch.Codename(d.varint())
+	r.NominalGHz = d.float()
+	r.JVM = d.string()
+	r.OS = d.string()
+	r.MemoryGB = d.float()
+	r.ActiveIdleWatts = d.float()
+	nLevels := d.uvarint()
+	if d.err == nil && nLevels > uint64(len(d.b))/32 {
+		return nil, fmt.Errorf("dataset: binary level count %d exceeds record payload", nLevels)
+	}
+	if d.err == nil && nLevels > 0 {
+		r.Levels = make([]LoadLevel, nLevels)
+		for i := range r.Levels {
+			r.Levels[i] = LoadLevel{
+				TargetLoad:    d.float(),
+				ActualLoad:    d.float(),
+				OpsPerSec:     d.float(),
+				AvgPowerWatts: d.float(),
+			}
+		}
+	}
+	if d.err != nil {
+		return nil, fmt.Errorf("dataset: decode binary record %q: %w", r.ID, d.err)
+	}
+	if len(d.b) != 0 {
+		return nil, fmt.Errorf("dataset: binary record %q has %d trailing bytes", r.ID, len(d.b))
+	}
+	return &r, nil
+}
+
+// WriteBinary writes the results in the binary corpus encoding.
+func WriteBinary(w io.Writer, results []*Result) error {
+	bw, err := NewBinaryWriter(w)
+	if err != nil {
+		return err
+	}
+	for _, r := range results {
+		if err := bw.Write(r); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary parses results written by WriteBinary.
+func ReadBinary(r io.Reader) ([]*Result, error) {
+	br, err := NewBinaryReader(r)
+	if err != nil {
+		return nil, err
+	}
+	var out []*Result
+	for {
+		res, err := br.Read()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, res)
+	}
+}

@@ -39,6 +39,21 @@ type Profile struct {
 	// way — see workload.MaxRateUnderSLA for deriving the cap from a
 	// p99 target.
 	UtilizationCap float64
+
+	// Power lookup table, resolved once from Curve at NewProfile time:
+	// the curve's utilization grid and the normalized power at each
+	// level, plus the peak wattage. The hot-path evaluators (PowerAt,
+	// PowerAtAll, EEAt) interpolate on these slices directly instead of
+	// calling the error-returning core.Curve.PowerAt, which rebuilds its
+	// normalized-power slice on every call. The interpolation arithmetic
+	// is kept identical to core.Curve.PowerAt, so the fast path is
+	// bit-for-bit equal to the curve path.
+	lutUtil []float64
+	lutNorm []float64
+	peakW   float64
+	// optimalEE caches EEAt(OptimalUtilization); the planners sort whole
+	// fleets by it on every call.
+	optimalEE float64
 }
 
 // maxUtil returns the effective utilization ceiling.
@@ -58,7 +73,11 @@ func (p *Profile) CappedOps() float64 { return p.OpsAt(p.maxUtil()) }
 // working region" guidance.
 const regionThreshold = 0.985
 
-// NewProfile derives a placement profile from a measured curve.
+// NewProfile derives a placement profile from a measured curve. The
+// curve is resolved once into the profile's power lookup table here, so
+// every later power evaluation is infallible: interpolation errors that
+// the curve path could report are constructor validation failures
+// instead.
 func NewProfile(id string, curve *core.Curve) (*Profile, error) {
 	if curve == nil {
 		return nil, errors.New("placement: nil curve")
@@ -68,12 +87,22 @@ func NewProfile(id string, curve *core.Curve) (*Profile, error) {
 	if maxOps <= 0 {
 		return nil, fmt.Errorf("placement: server %s has no throughput at full load", id)
 	}
+	peakW := curve.PeakPower()
+	if peakW <= 0 || math.IsNaN(peakW) || math.IsInf(peakW, 0) {
+		return nil, fmt.Errorf("placement: server %s has invalid peak power %v", id, peakW)
+	}
 	p := &Profile{
 		ID:                 id,
 		Curve:              curve,
 		MaxOps:             maxOps,
 		EP:                 curve.EP(),
 		OptimalUtilization: curve.PeakEEUtilization(),
+		lutUtil:            make([]float64, len(pts)),
+		lutNorm:            curve.NormalizedPower(),
+		peakW:              peakW,
+	}
+	for i, pt := range pts {
+		p.lutUtil[i] = pt.Utilization
 	}
 	peakNorm := curve.PeakOverFullRatio()
 	if region, ok := curve.WidestHighEfficiencyRegion(peakNorm * regionThreshold); ok {
@@ -81,6 +110,7 @@ func NewProfile(id string, curve *core.Curve) (*Profile, error) {
 	} else {
 		p.Region = core.Interval{Lo: p.OptimalUtilization, Hi: 1}
 	}
+	p.optimalEE = p.EEAt(p.OptimalUtilization)
 	return p, nil
 }
 
@@ -91,13 +121,41 @@ func (p *Profile) OpsAt(u float64) float64 {
 }
 
 // PowerAt returns the absolute wall power at utilization u, linearly
-// interpolated between measured levels.
+// interpolated between measured levels on the profile's lookup table.
+// Out-of-range utilizations clamp to [0, 1]; the call cannot fail.
 func (p *Profile) PowerAt(u float64) float64 {
-	norm, err := p.Curve.PowerAt(clamp01(u))
-	if err != nil {
-		return p.Curve.PeakPower()
+	u = clamp01(u)
+	if len(p.lutUtil) == 0 {
+		// Profile built without NewProfile: fall back to the curve path.
+		norm, err := p.Curve.PowerAt(u)
+		if err != nil {
+			return p.Curve.PeakPower()
+		}
+		return norm * p.Curve.PeakPower()
 	}
-	return norm * p.Curve.PeakPower()
+	// First segment endpoint i ≥ 1 with lutUtil[i] ≥ u — the segment the
+	// curve path's linear scan selects.
+	i := sort.SearchFloat64s(p.lutUtil, u)
+	if i < 1 {
+		i = 1
+	}
+	lo, hi := p.lutUtil[i-1], p.lutUtil[i]
+	frac := (u - lo) / (hi - lo)
+	return (p.lutNorm[i-1] + frac*(p.lutNorm[i]-p.lutNorm[i-1])) * p.peakW
+}
+
+// PowerAtAll evaluates PowerAt on every utilization in us, writing into
+// dst (allocated when nil or too short) and returning it. The batched
+// form keeps cluster grid evaluation allocation-free.
+func (p *Profile) PowerAtAll(us, dst []float64) []float64 {
+	if cap(dst) < len(us) {
+		dst = make([]float64, len(us))
+	}
+	dst = dst[:len(us)]
+	for i, u := range us {
+		dst[i] = p.PowerAt(u)
+	}
+	return dst
 }
 
 // EEAt returns ops per watt at utilization u.
@@ -109,8 +167,35 @@ func (p *Profile) EEAt(u float64) float64 {
 	return p.OpsAt(u) / w
 }
 
-// OptimalEE returns the efficiency at the server's optimal utilization.
-func (p *Profile) OptimalEE() float64 { return p.EEAt(p.OptimalUtilization) }
+// EEAtAll evaluates EEAt on every utilization in us, writing into dst
+// (allocated when nil or too short) and returning it.
+func (p *Profile) EEAtAll(us, dst []float64) []float64 {
+	if cap(dst) < len(us) {
+		dst = make([]float64, len(us))
+	}
+	dst = dst[:len(us)]
+	for i, u := range us {
+		dst[i] = p.EEAt(u)
+	}
+	return dst
+}
+
+// PeakPowerWatts returns the wall power at 100% utilization.
+func (p *Profile) PeakPowerWatts() float64 {
+	if p.peakW > 0 {
+		return p.peakW
+	}
+	return p.Curve.PeakPower()
+}
+
+// OptimalEE returns the efficiency at the server's optimal utilization,
+// cached at construction: the planners sort whole fleets by it.
+func (p *Profile) OptimalEE() float64 {
+	if p.optimalEE != 0 {
+		return p.optimalEE
+	}
+	return p.EEAt(p.OptimalUtilization)
+}
 
 func clamp01(u float64) float64 { return math.Max(0, math.Min(1, u)) }
 
@@ -229,21 +314,24 @@ var (
 	ErrDemand    = errors.New("placement: demand must be positive")
 )
 
-// PlaceProportional is the paper-guided strategy: servers are engaged
-// in descending order of their optimal-point efficiency and held at
-// their optimal utilization; when demand exceeds the fleet's optimal
-// capacity, servers are topped up toward 100% in the same order.
-func PlaceProportional(profiles []*Profile, demandOps float64, opts Options) (Plan, error) {
-	if len(profiles) == 0 {
-		return Plan{}, ErrNoServers
-	}
-	if demandOps <= 0 {
-		return Plan{}, ErrDemand
-	}
+// EngageOrder returns the profiles sorted in descending optimal-point
+// efficiency — the order PlaceProportional engages servers. Callers
+// evaluating many demand points against one fleet (the cluster grid)
+// compute it once and feed it to ProportionalFill per point.
+func EngageOrder(profiles []*Profile) []*Profile {
 	order := append([]*Profile(nil), profiles...)
 	sort.SliceStable(order, func(i, j int) bool { return order[i].OptimalEE() > order[j].OptimalEE() })
+	return order
+}
 
-	util := make([]float64, len(order))
+// ProportionalFill computes the proportional-placement utilizations for
+// demandOps over a fleet already in engage order, writing them into
+// util (which must have len(order)), and returns the unsatisfied
+// remainder. It is the allocation-free core of PlaceProportional.
+func ProportionalFill(order []*Profile, demandOps float64, util []float64) float64 {
+	for i := range util {
+		util[i] = 0
+	}
 	remaining := demandOps
 	for i, s := range order {
 		if remaining <= 0 {
@@ -272,6 +360,23 @@ func PlaceProportional(profiles []*Profile, demandOps float64, opts Options) (Pl
 		util[i] += take / s.MaxOps
 		remaining -= take
 	}
+	return remaining
+}
+
+// PlaceProportional is the paper-guided strategy: servers are engaged
+// in descending order of their optimal-point efficiency and held at
+// their optimal utilization; when demand exceeds the fleet's optimal
+// capacity, servers are topped up toward 100% in the same order.
+func PlaceProportional(profiles []*Profile, demandOps float64, opts Options) (Plan, error) {
+	if len(profiles) == 0 {
+		return Plan{}, ErrNoServers
+	}
+	if demandOps <= 0 {
+		return Plan{}, ErrDemand
+	}
+	order := EngageOrder(profiles)
+	util := make([]float64, len(order))
+	remaining := ProportionalFill(order, demandOps, util)
 	return assemble(order, util, demandOps, remaining, opts), nil
 }
 

@@ -1,0 +1,122 @@
+package synth
+
+import (
+	"bytes"
+	"runtime"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/par"
+)
+
+// fleetCSV canonicalizes a fleet to CSV bytes for exact comparison.
+func fleetCSV(t *testing.T, rs []*dataset.Result) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := dataset.WriteCSV(&buf, rs); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestGenerateFleetRejectsInvalidSize(t *testing.T) {
+	for _, n := range []int{0, -5} {
+		if _, err := GenerateFleet(FleetConfig{Seed: 1, Servers: n}); err == nil {
+			t.Errorf("fleet size %d accepted", n)
+		}
+	}
+}
+
+func TestGenerateFleetDeterministicAndSeedSensitive(t *testing.T) {
+	a, err := GenerateFleet(FleetConfig{Seed: 5, Servers: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateFleet(FleetConfig{Seed: 5, Servers: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(fleetCSV(t, a), fleetCSV(t, b)) {
+		t.Error("same seed produced different fleets")
+	}
+	c, err := GenerateFleet(FleetConfig{Seed: 6, Servers: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(fleetCSV(t, a), fleetCSV(t, c)) {
+		t.Error("different seeds produced identical fleets")
+	}
+}
+
+// TestGenerateFleetPrefixStability pins the shard contract: a smaller
+// fleet is a strict prefix of a larger one at the same seed. The sizes
+// straddle the 1024-server shard boundary so both the full-shard and
+// partial-shard cases are covered.
+func TestGenerateFleetPrefixStability(t *testing.T) {
+	small, err := GenerateFleet(FleetConfig{Seed: 2, Servers: 1100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := GenerateFleet(FleetConfig{Seed: 2, Servers: 2600})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(fleetCSV(t, small), fleetCSV(t, large[:len(small)])) {
+		t.Error("smaller fleet is not a prefix of the larger one")
+	}
+}
+
+// TestGenerateFleetWorkerInvariance verifies the sharded generator is
+// byte-identical at worker counts 1, 2 and 8.
+func TestGenerateFleetWorkerInvariance(t *testing.T) {
+	prev := runtime.GOMAXPROCS(8)
+	defer runtime.GOMAXPROCS(prev)
+
+	runAt := func(workers int) []byte {
+		prevCap := par.SetMaxWorkers(workers)
+		defer par.SetMaxWorkers(prevCap)
+		rs, err := GenerateFleet(FleetConfig{Seed: 3, Servers: 3000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fleetCSV(t, rs)
+	}
+	base := runAt(1)
+	for _, workers := range []int{2, 8} {
+		if !bytes.Equal(base, runAt(workers)) {
+			t.Errorf("fleet differs at %d workers", workers)
+		}
+	}
+}
+
+func TestGenerateFleetShape(t *testing.T) {
+	rs, err := GenerateFleet(FleetConfig{Seed: 1, Servers: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 2000 {
+		t.Fatalf("got %d servers, want 2000", len(rs))
+	}
+	seen := make(map[string]bool, len(rs))
+	years := make(map[int]int)
+	for i, r := range rs {
+		if seen[r.ID] {
+			t.Fatalf("duplicate ID %s", r.ID)
+		}
+		seen[r.ID] = true
+		if _, err := r.Curve(); err != nil {
+			t.Fatalf("server %d has invalid curve: %v", i, err)
+		}
+		if !dataset.IsCompliant(r) {
+			t.Fatalf("server %d (%s) is non-compliant: %v", i, r.ID, dataset.Validate(r))
+		}
+		years[r.HWAvailYear]++
+	}
+	if rs[0].ID != "fleet-0000000" {
+		t.Errorf("first ID %q", rs[0].ID)
+	}
+	// The fleet keeps the corpus year mix: 2012 holds ~27% of servers.
+	if frac := float64(years[2012]) / float64(len(rs)); frac < 0.18 || frac > 0.38 {
+		t.Errorf("2012 share %.2f, want ≈ 0.27", frac)
+	}
+}
