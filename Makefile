@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build vet test race bench fleetbench report report-html verify calibrate fuzz serve selftest examples clean
+.PHONY: all check build vet test race bench fleetbench colbench report report-html verify calibrate fuzz serve selftest examples clean
 
 all: check
 
@@ -32,6 +32,14 @@ bench:
 # without the full benchtime cost.
 fleetbench:
 	$(GO) test -run '^$$' -bench 'BenchmarkFleet' -benchtime 1x .
+
+# Columnar-core smoke: one iteration of the 10k/100k generate, load
+# (EPFB v1 vs v2), and full-report benchmarks. The 1M variants are
+# excluded to keep the CI run short; run them by hand with
+# `go test -bench 'BenchmarkColumnar.*1M' -benchtime 2x .`
+# when refreshing BENCH_columnar.json.
+colbench:
+	$(GO) test -run '^$$' -bench 'BenchmarkColumnar.*(10k|100k)$$' -benchtime 1x -timeout 20m .
 
 # The full evaluation section as text / standalone HTML.
 report:

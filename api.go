@@ -91,12 +91,58 @@ func WriteJSON(w io.Writer, rs []*Result) error { return dataset.WriteJSON(w, rs
 
 // ReadBinary parses results from the compact binary corpus encoding —
 // the fleet-scale format that round-trips 100k-server corpora in
-// milliseconds where CSV/JSON parse in seconds.
+// milliseconds where CSV/JSON parse in seconds. Both the record-major
+// v1 layout and the sectioned columnar v2 layout load transparently.
 func ReadBinary(r io.Reader) ([]*Result, error) { return dataset.ReadBinary(r) }
 
-// WriteBinary writes results in the compact binary corpus encoding.
-// Every float round-trips bit-for-bit.
+// WriteBinary writes results in the compact binary corpus encoding
+// (record-major v1). Every float round-trips bit-for-bit.
 func WriteBinary(w io.Writer, rs []*Result) error { return dataset.WriteBinary(w, rs) }
+
+// Columnar corpus core (internal/dataset).
+type (
+	// ColumnStore is the struct-of-arrays corpus representation: every
+	// metric and disclosure field lives in an index-aligned column, the
+	// graduated load levels in flattened arrays behind an offsets table.
+	// Repositories are backed by one; analyses iterate its columns
+	// directly and *Result views materialize lazily per row.
+	ColumnStore = dataset.ColumnStore
+	// ColumnWriter streams column stores to the sectioned columnar EPFB
+	// v2 encoding chunk by chunk.
+	ColumnWriter = dataset.ColumnWriter
+)
+
+// BuildColumns builds a column store (raw and derived metric columns)
+// from result structs.
+func BuildColumns(rs []*Result) *ColumnStore { return dataset.BuildColumns(rs) }
+
+// NewColumnRepository wraps a column store in a repository without
+// materializing result views; rows materialize lazily on access.
+func NewColumnRepository(cs *ColumnStore) *Repository { return dataset.NewColumnRepository(cs) }
+
+// ReadColumns parses a binary corpus (EPFB v1 or v2) directly into a
+// column store; no result structs are built.
+func ReadColumns(r io.Reader) (*ColumnStore, error) { return dataset.ReadColumns(r) }
+
+// ReadColumnsBytes parses an in-memory binary corpus into a column
+// store. For v2 input it is the fastest load path: columns are sized
+// up front from the chunk framing and section payloads decode in
+// place, with no streaming copy. The store does not retain data.
+func ReadColumnsBytes(data []byte) (*ColumnStore, error) { return dataset.ReadColumnsBytes(data) }
+
+// WriteColumns writes a column store in the sectioned columnar EPFB v2
+// encoding. Every float round-trips bit-for-bit, and v2 files load
+// several times faster than the record-major v1 layout.
+func WriteColumns(w io.Writer, cs *ColumnStore) error { return dataset.WriteColumns(w, cs) }
+
+// NewColumnWriter starts a streaming EPFB v2 encode to w; call
+// WriteChunk per shard and Flush at the end.
+func NewColumnWriter(w io.Writer) (*ColumnWriter, error) { return dataset.NewColumnWriter(w) }
+
+// ReadDatasetPath loads a corpus file into a repository, sniffing the
+// format: EPFB binaries (v1 or v2) load columnar, ".json" selects the
+// JSON codec, anything else the CSV codec.
+func ReadDatasetPath(path string) (*Repository, error) { return dataset.ReadPath(path) }
 
 // Synthetic corpus (internal/synth).
 type (
@@ -119,6 +165,20 @@ func GenerateValidResults(cfg SynthConfig) ([]*Result, error) { return synth.Gen
 // output depends only on the seed and fleet size — never on the worker
 // count — and smaller fleets are strict prefixes of larger ones.
 func GenerateFleet(cfg FleetConfig) ([]*Result, error) { return synth.GenerateFleet(cfg) }
+
+// GenerateFleetStore produces the same fleet as GenerateFleet directly
+// as a column store — no result structs are held; pair with
+// NewColumnRepository for fleet-scale analyses.
+func GenerateFleetStore(cfg FleetConfig) (*ColumnStore, error) {
+	return synth.GenerateFleetStore(cfg)
+}
+
+// GenerateFleetShards streams the fleet shard by shard, in order, to
+// fn — the bounded-memory path for writing million-server corpora to
+// disk (each shard is ~1k rows; pair with a ColumnWriter).
+func GenerateFleetShards(cfg FleetConfig, fn func(shard int, cs *ColumnStore) error) error {
+	return synth.GenerateFleetShards(cfg, fn)
+}
 
 // FleetProfiles derives placement profiles from fleet results in
 // parallel, ready for ComposeCluster and the placement planners.

@@ -143,22 +143,7 @@ func loadRepository(path string, seed int64) (*dataset.Repository, error) {
 	if path == "" {
 		return synth.NewRepository(synth.Config{Seed: seed})
 	}
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	var results []*dataset.Result
-	switch {
-	case strings.HasSuffix(path, ".json"):
-		results, err = dataset.ReadJSON(f)
-	default:
-		results, err = dataset.ReadCSV(f)
-	}
-	if err != nil {
-		return nil, err
-	}
-	return dataset.NewRepository(results), nil
+	return dataset.ReadPath(path)
 }
 
 func bestSample(rp *dataset.Repository) *dataset.Result {

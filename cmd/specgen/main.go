@@ -51,12 +51,13 @@ func runVerify(rp *dataset.Repository, w io.Writer) error {
 
 func run(args []string, stdout, stderr io.Writer) error {
 	fs := cli.New("specgen",
-		"[-seed N] [-format csv|json] [-valid-only] [-out FILE] [-verify]",
-		"generates the calibrated synthetic SPECpower corpus (517 submissions, 477 valid) as CSV or JSON", stderr)
+		"[-seed N] [-servers N] [-format csv|json|epfb] [-valid-only] [-out FILE] [-verify]",
+		"generates the calibrated synthetic SPECpower corpus (517 submissions, 477 valid) — or, with -servers, a fleet-scale corpus — as CSV, JSON, or binary EPFB", stderr)
 	var (
 		seed      = fs.Int64("seed", 1, "generator seed; equal seeds reproduce the corpus bit for bit")
-		format    = fs.String("format", "csv", "output format: csv or json")
-		validOnly = fs.Bool("valid-only", false, "emit only the 477 compliant results")
+		servers   = fs.Int("servers", 0, "fleet mode: generate N servers from the calibrated plan tables and stream them shard by shard (0 = the paper's 517-submission corpus)")
+		format    = fs.String("format", "csv", "output format: csv, json, or epfb (columnar binary)")
+		validOnly = fs.Bool("valid-only", false, "emit only the 477 compliant results (corpus mode only)")
 		out       = fs.String("out", "", "output file (default stdout)")
 		quiet     = fs.Bool("q", false, "suppress the summary line on stderr")
 		verify    = fs.Bool("verify", false, "print the calibration check against the paper's targets and exit non-zero on failure")
@@ -64,17 +65,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if done, err := cli.Parse(fs, args, stdout); done || err != nil {
 		return err
 	}
-
-	rp, err := synth.NewRepository(synth.Config{Seed: *seed})
-	if err != nil {
-		return err
-	}
-	if *verify {
-		return runVerify(rp, stdout)
-	}
-	results := rp.All()
-	if *validOnly {
-		results = rp.Valid().All()
+	switch *format {
+	case "csv", "json", "epfb":
+	default:
+		return fmt.Errorf("unknown format %q (want csv, json, or epfb)", *format)
 	}
 
 	w := stdout
@@ -90,13 +84,39 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}()
 		w = f
 	}
+
+	if *servers > 0 {
+		if *verify || *validOnly {
+			return fmt.Errorf("-servers is incompatible with -verify and -valid-only")
+		}
+		if err := writeFleet(w, *seed, *servers, *format); err != nil {
+			return err
+		}
+		if !*quiet {
+			fmt.Fprintf(stderr, "fleet: %d servers (seed %d, %s)\n", *servers, *seed, *format)
+		}
+		return nil
+	}
+
+	rp, err := synth.NewRepository(synth.Config{Seed: *seed})
+	if err != nil {
+		return err
+	}
+	if *verify {
+		return runVerify(rp, stdout)
+	}
+	results := rp.All()
+	if *validOnly {
+		results = rp.Valid().All()
+	}
+
 	switch *format {
 	case "csv":
 		err = dataset.WriteCSV(w, results)
 	case "json":
 		err = dataset.WriteJSON(w, results)
-	default:
-		return fmt.Errorf("unknown format %q (want csv or json)", *format)
+	case "epfb":
+		err = dataset.WriteColumns(w, dataset.BuildColumns(results))
 	}
 	if err != nil {
 		return err
@@ -105,4 +125,42 @@ func run(args []string, stdout, stderr io.Writer) error {
 		fmt.Fprint(stderr, report.Summary(rp))
 	}
 	return nil
+}
+
+// writeFleet streams a -servers fleet to w shard by shard: the fleet
+// never exists in memory at once, so the output size is bounded only
+// by disk. The bytes equal a one-shot encode of GenerateFleet's output
+// in every format.
+func writeFleet(w io.Writer, seed int64, servers int, format string) error {
+	cfg := synth.FleetConfig{Seed: seed, Servers: servers}
+	switch format {
+	case "epfb":
+		cw, err := dataset.NewColumnWriter(w)
+		if err != nil {
+			return err
+		}
+		if err := synth.GenerateFleetShards(cfg, func(_ int, cs *dataset.ColumnStore) error {
+			return cw.WriteChunk(cs)
+		}); err != nil {
+			return err
+		}
+		return cw.Flush()
+	case "csv":
+		sw := dataset.NewCSVWriter(w)
+		if err := synth.GenerateFleetShards(cfg, func(_ int, cs *dataset.ColumnStore) error {
+			return sw.Append(cs.Materialize())
+		}); err != nil {
+			return err
+		}
+		return sw.Flush()
+	case "json":
+		jw := dataset.NewJSONWriter(w)
+		if err := synth.GenerateFleetShards(cfg, func(_ int, cs *dataset.ColumnStore) error {
+			return jw.Append(cs.Materialize())
+		}); err != nil {
+			return err
+		}
+		return jw.Close()
+	}
+	return fmt.Errorf("unknown format %q", format)
 }

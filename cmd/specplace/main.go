@@ -14,7 +14,6 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"strings"
 	"text/tabwriter"
 
 	"repro/internal/cli"
@@ -135,19 +134,5 @@ func load(path string, seed int64) (*dataset.Repository, error) {
 	if path == "" {
 		return synth.NewRepository(synth.Config{Seed: seed})
 	}
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	var results []*dataset.Result
-	if strings.HasSuffix(path, ".json") {
-		results, err = dataset.ReadJSON(f)
-	} else {
-		results, err = dataset.ReadCSV(f)
-	}
-	if err != nil {
-		return nil, err
-	}
-	return dataset.NewRepository(results), nil
+	return dataset.ReadPath(path)
 }

@@ -12,7 +12,6 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"strings"
 
 	"repro/internal/cli"
 	"repro/internal/dataset"
@@ -97,19 +96,5 @@ func run(args []string, stdout, stderr io.Writer) error {
 }
 
 func load(path string) (*dataset.Repository, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	var results []*dataset.Result
-	if strings.HasSuffix(path, ".json") {
-		results, err = dataset.ReadJSON(f)
-	} else {
-		results, err = dataset.ReadCSV(f)
-	}
-	if err != nil {
-		return nil, err
-	}
-	return dataset.NewRepository(results), nil
+	return dataset.ReadPath(path)
 }

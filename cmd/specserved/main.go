@@ -289,21 +289,8 @@ func expectBody(client *http.Client, url, want string) error {
 	return nil
 }
 
-// load reads a dataset file by extension, mirroring the other CLIs.
+// load reads a dataset file (CSV, JSON, or EPFB), mirroring the other
+// CLIs through the shared dataset.ReadPath dispatcher.
 func load(path string) (*dataset.Repository, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	var results []*dataset.Result
-	if strings.HasSuffix(path, ".json") {
-		results, err = dataset.ReadJSON(f)
-	} else {
-		results, err = dataset.ReadCSV(f)
-	}
-	if err != nil {
-		return nil, err
-	}
-	return dataset.NewRepository(results), nil
+	return dataset.ReadPath(path)
 }

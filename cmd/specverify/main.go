@@ -19,7 +19,6 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"path/filepath"
 	"strings"
 	"text/tabwriter"
 
@@ -57,25 +56,14 @@ func parseCategories(s string) ([]verify.Category, error) {
 	return out, nil
 }
 
-// loadCorpus reads a CSV or JSON corpus file, picking the codec from
-// the extension.
+// loadCorpus reads a corpus file (CSV, JSON, or EPFB) through the
+// shared dataset.ReadPath dispatcher.
 func loadCorpus(path string) (*dataset.Repository, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	var results []*dataset.Result
-	switch ext := strings.ToLower(filepath.Ext(path)); ext {
-	case ".json":
-		results, err = dataset.ReadJSON(f)
-	default:
-		results, err = dataset.ReadCSV(f)
-	}
+	rp, err := dataset.ReadPath(path)
 	if err != nil {
 		return nil, fmt.Errorf("load %s: %w", path, err)
 	}
-	return dataset.NewRepository(results), nil
+	return rp, nil
 }
 
 // list prints the invariant registry without running anything.

@@ -1,0 +1,143 @@
+// Columnar-core benchmark set: generation, load, full-analysis report,
+// and cluster composition at fleet scale (10k / 100k / 1M servers).
+// `make colbench` runs every benchmark here exactly once (benchtime=1x)
+// as the CI smoke; BENCH_columnar.json records the trajectory.
+package repro_test
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"repro"
+)
+
+// colStores caches one generated column store per fleet size, shared
+// across the load/compose benchmarks (their setup is not what's
+// measured). The report benchmarks generate fresh stores instead, so
+// the first timed iteration pays the cold derived-column build.
+var (
+	colStoreMu sync.Mutex
+	colStores  = map[int]*repro.ColumnStore{}
+)
+
+func colStore(b *testing.B, n int) *repro.ColumnStore {
+	b.Helper()
+	colStoreMu.Lock()
+	defer colStoreMu.Unlock()
+	if cs, ok := colStores[n]; ok {
+		return cs
+	}
+	cs, err := repro.GenerateFleetStore(repro.FleetConfig{Seed: 1, Servers: n})
+	if err != nil {
+		b.Fatal(err)
+	}
+	colStores[n] = cs
+	return cs
+}
+
+// ---- generation ----
+
+func benchmarkColumnarGenerate(b *testing.B, n int) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cs, err := repro.GenerateFleetStore(repro.FleetConfig{Seed: 1, Servers: n})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if cs.Len() != n {
+			b.Fatalf("generated %d rows", cs.Len())
+		}
+	}
+}
+
+func BenchmarkColumnarGenerate10k(b *testing.B)  { benchmarkColumnarGenerate(b, 10_000) }
+func BenchmarkColumnarGenerate100k(b *testing.B) { benchmarkColumnarGenerate(b, 100_000) }
+func BenchmarkColumnarGenerate1M(b *testing.B)   { benchmarkColumnarGenerate(b, 1_000_000) }
+
+// ---- binary load: record-major v1 vs sectioned columnar v2 ----
+//
+// Both formats load through the same entry point (ReadColumnsBytes,
+// the ReadPath route for on-disk corpora) into the same artifact, a
+// ColumnStore, so the pair isolates the cost of the wire encoding:
+// v1 decodes record by record through the column builder, v2 decodes
+// whole column sections in place.
+
+func benchmarkColumnarLoad(b *testing.B, n int, v2 bool) {
+	cs := colStore(b, n)
+	var buf bytes.Buffer
+	var err error
+	if v2 {
+		err = repro.WriteColumns(&buf, cs)
+	} else {
+		err = repro.WriteBinary(&buf, cs.Materialize())
+	}
+	if err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		got, err := repro.ReadColumnsBytes(data)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if got.Len() != n {
+			b.Fatalf("loaded %d rows", got.Len())
+		}
+	}
+}
+
+func BenchmarkColumnarLoadV1_10k(b *testing.B)  { benchmarkColumnarLoad(b, 10_000, false) }
+func BenchmarkColumnarLoadV2_10k(b *testing.B)  { benchmarkColumnarLoad(b, 10_000, true) }
+func BenchmarkColumnarLoadV1_100k(b *testing.B) { benchmarkColumnarLoad(b, 100_000, false) }
+func BenchmarkColumnarLoadV2_100k(b *testing.B) { benchmarkColumnarLoad(b, 100_000, true) }
+func BenchmarkColumnarLoadV1_1M(b *testing.B)   { benchmarkColumnarLoad(b, 1_000_000, false) }
+func BenchmarkColumnarLoadV2_1M(b *testing.B)   { benchmarkColumnarLoad(b, 1_000_000, true) }
+
+// ---- full analysis suite + text report ----
+
+var colReportLen int
+
+func benchmarkColumnarReport(b *testing.B, n int) {
+	// A fresh store per benchmark run: the first timed iteration pays
+	// the cold derived-metric build, exactly like a CLI invocation on a
+	// loaded corpus.
+	cs, err := repro.GenerateFleetStore(repro.FleetConfig{Seed: 1, Servers: n})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rp := repro.NewColumnRepository(cs)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := repro.FullReport(rp, repro.ReportOptions{Sweeps: false})
+		if err != nil {
+			b.Fatal(err)
+		}
+		colReportLen = len(out)
+	}
+}
+
+func BenchmarkColumnarReport10k(b *testing.B)  { benchmarkColumnarReport(b, 10_000) }
+func BenchmarkColumnarReport100k(b *testing.B) { benchmarkColumnarReport(b, 100_000) }
+func BenchmarkColumnarReport1M(b *testing.B)   { benchmarkColumnarReport(b, 1_000_000) }
+
+// ---- cluster composition at 1M (10k/100k live in bench_test.go) ----
+
+func BenchmarkColumnarCompose1M(b *testing.B) {
+	fleet := benchFleetProfiles(b, 1_000_000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		agg, err := repro.ComposeCluster(fleet, repro.PolicyPack)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if agg.EP() <= 0 {
+			b.Fatal("non-positive cluster EP")
+		}
+	}
+}

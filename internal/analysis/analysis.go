@@ -6,6 +6,12 @@
 // breakdown (Table I / Fig. 17), the metric correlations and the idle-
 // power regression (Eq. 2), the EP/EE asynchronization (§IV.B), and the
 // published-vs-availability-year reorganization deltas (§I).
+//
+// Every analysis iterates the repository's columnar metric store
+// (struct-of-arrays columns, see dataset.ColumnStore) instead of walking
+// []*Result adapter views, so the suite scales to million-server fleet
+// corpora; the arithmetic and iteration orders are exactly those of the
+// original per-result loops, keeping the output bit-identical.
 package analysis
 
 import (
@@ -19,26 +25,28 @@ import (
 	"repro/internal/stats"
 )
 
-// epsOf reads the memoized EP of every result in group order. No curves
-// are rebuilt: each result computes its metric bundle at most once per
-// process.
-func epsOf(rs []*dataset.Result) []float64 {
-	out := make([]float64, len(rs))
-	for i, r := range rs {
-		out[i] = r.EP()
+// gather copies the column values at the given rows, in order.
+func gather(col []float64, rows []int32) []float64 {
+	out := make([]float64, len(rows))
+	for i, r := range rows {
+		out[i] = col[r]
 	}
 	return out
 }
 
-// metricSlices reads the memoized EP and overall-EE columns of a group.
-func metricSlices(rs []*dataset.Result) (eps, ees []float64) {
-	eps = make([]float64, len(rs))
-	ees = make([]float64, len(rs))
-	for i, r := range rs {
-		eps[i] = r.EP()
-		ees[i] = r.OverallEE()
+// groupRowsByInt buckets row indices by an int32 key column, preserving
+// row order inside each bucket, and returns the sorted keys.
+func groupRowsByInt(col []int32) (map[int][]int32, []int) {
+	groups := make(map[int][]int32)
+	for i, v := range col {
+		groups[int(v)] = append(groups[int(v)], int32(i))
 	}
-	return eps, ees
+	keys := make([]int, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return groups, keys
 }
 
 // YearStats aggregates one hardware-availability year.
@@ -54,47 +62,52 @@ type YearStats struct {
 }
 
 // YearlyTrend computes the Fig. 2-4 series grouped by hardware
-// availability year, ascending.
+// availability year, ascending. The series is memoized on the corpus
+// (several report sections and the reorganization deltas all need it),
+// so callers share one slice and must treat it as read-only.
 func YearlyTrend(rp *dataset.Repository) ([]YearStats, error) {
-	return yearlyTrendBy(rp, func(r *dataset.Result) int { return r.HWAvailYear })
+	cs := rp.Columns()
+	return memoYearlyTrend(cs, "analysis.yearlyTrend.hw", cs.HWYearCol())
 }
 
 // YearlyTrendByPublished computes the same series grouped by published
 // year — the baseline the paper's reorganization argument (§I) compares
-// against.
+// against. Memoized like YearlyTrend; treat the result as read-only.
 func YearlyTrendByPublished(rp *dataset.Repository) ([]YearStats, error) {
-	return yearlyTrendBy(rp, func(r *dataset.Result) int { return r.PublishedYear })
+	cs := rp.Columns()
+	return memoYearlyTrend(cs, "analysis.yearlyTrend.pub", cs.PubYearCol())
 }
 
-func yearlyTrendBy(rp *dataset.Repository, key func(*dataset.Result) int) ([]YearStats, error) {
-	groups := make(map[int][]*dataset.Result)
-	for _, r := range rp.All() {
-		y := key(r)
-		groups[y] = append(groups[y], r)
-	}
-	years := make([]int, 0, len(groups))
-	for y := range groups {
-		years = append(years, y)
-	}
-	sort.Ints(years)
+// trendMemo is the cached (trend, error) pair for one grouping column.
+type trendMemo struct {
+	trend []YearStats
+	err   error
+}
+
+func memoYearlyTrend(cs *dataset.ColumnStore, key string, yearCol []int32) ([]YearStats, error) {
+	m := cs.Memoize(key, func() any {
+		t, err := yearlyTrendBy(cs, yearCol)
+		return trendMemo{trend: t, err: err}
+	}).(trendMemo)
+	return m.trend, m.err
+}
+
+func yearlyTrendBy(cs *dataset.ColumnStore, yearCol []int32) ([]YearStats, error) {
+	groups, years := groupRowsByInt(yearCol)
+	epCol, eeCol, peakCol := cs.EPCol(), cs.OverallEECol(), cs.PeakEECol()
 	out := make([]YearStats, len(years))
 	err := par.ForEachErr(len(years), func(i int) error {
 		y := years[i]
 		g := groups[y]
-		eps, ees := metricSlices(g)
-		peaks := make([]float64, len(g))
-		for j, r := range g {
-			peaks[j] = r.PeakEEValue()
-		}
-		epSum, err := stats.Describe(eps)
+		epSum, err := stats.Describe(gather(epCol, g))
 		if err != nil {
 			return fmt.Errorf("analysis: year %d: %w", y, err)
 		}
-		eeSum, err := stats.Describe(ees)
+		eeSum, err := stats.Describe(gather(eeCol, g))
 		if err != nil {
 			return fmt.Errorf("analysis: year %d: %w", y, err)
 		}
-		peakSum, err := stats.Describe(peaks)
+		peakSum, err := stats.Describe(gather(peakCol, g))
 		if err != nil {
 			return fmt.Errorf("analysis: year %d: %w", y, err)
 		}
@@ -132,16 +145,22 @@ type FamilyCount struct {
 // ByFamily groups servers by microarchitecture family in chronological
 // family order (Fig. 6).
 func ByFamily(rp *dataset.Repository) []FamilyCount {
-	groups := rp.ByFamily()
+	cs := rp.Columns()
+	groups := make(map[microarch.Family][]int32)
+	for i, code := range cs.CodenameCol() {
+		f := code.Family()
+		groups[f] = append(groups[f], int32(i))
+	}
 	fams := make([]microarch.Family, 0, len(groups))
 	for _, fam := range microarch.AllFamilies() {
 		if _, ok := groups[fam]; ok {
 			fams = append(fams, fam)
 		}
 	}
+	epCol := cs.EPCol()
 	return par.Map(len(fams), func(i int) FamilyCount {
-		rs := groups[fams[i]]
-		return FamilyCount{Family: fams[i], Count: len(rs), MeanEP: stats.MustMean(epsOf(rs))}
+		g := groups[fams[i]]
+		return FamilyCount{Family: fams[i], Count: len(g), MeanEP: stats.MustMean(gather(epCol, g))}
 	})
 }
 
@@ -157,7 +176,11 @@ type CodenameStats struct {
 // ByCodename groups servers by processor codename in chronological
 // order (Fig. 7). The per-codename aggregation fans out across CPUs.
 func ByCodename(rp *dataset.Repository) []CodenameStats {
-	groups := rp.ByCodename()
+	cs := rp.Columns()
+	groups := make(map[microarch.Codename][]int32)
+	for i, code := range cs.CodenameCol() {
+		groups[code] = append(groups[code], int32(i))
+	}
 	order := append(microarch.AllCodenames(), microarch.UnknownCodename)
 	codes := make([]microarch.Codename, 0, len(groups))
 	for _, code := range order {
@@ -165,13 +188,13 @@ func ByCodename(rp *dataset.Repository) []CodenameStats {
 			codes = append(codes, code)
 		}
 	}
+	epCol := cs.EPCol()
 	return par.Map(len(codes), func(i int) CodenameStats {
-		rs := groups[codes[i]]
-		eps := epsOf(rs)
+		eps := gather(epCol, groups[codes[i]])
 		med, _ := stats.Median(eps)
 		return CodenameStats{
 			Codename: codes[i],
-			Count:    len(rs),
+			Count:    len(eps),
 			MeanEP:   stats.MustMean(eps),
 			MedianEP: med,
 		}
@@ -187,16 +210,22 @@ type MarchMixRow struct {
 }
 
 // MarchMix reports the per-year microarchitecture mix over [from, to]
-// (Fig. 8 uses 2012-2016 to explain the specious stagnation).
+// (Fig. 8 uses 2012-2016 to explain the specious stagnation). One pass
+// over the year and codename columns tallies every year.
 func MarchMix(rp *dataset.Repository, from, to int) []MarchMixRow {
+	cs := rp.Columns()
 	out := make([]MarchMixRow, 0, to-from+1)
 	for y := from; y <= to; y++ {
-		sub := rp.YearRange(y, y)
-		row := MarchMixRow{Year: y, Counts: make(map[microarch.Family]int), Total: sub.Len()}
-		for fam, rs := range sub.ByFamily() {
-			row.Counts[fam] = len(rs)
+		out = append(out, MarchMixRow{Year: y, Counts: make(map[microarch.Family]int)})
+	}
+	codes := cs.CodenameCol()
+	for i, y := range cs.HWYearCol() {
+		if int(y) < from || int(y) > to {
+			continue
 		}
-		out = append(out, row)
+		row := &out[int(y)-from]
+		row.Total++
+		row.Counts[codes[i].Family()]++
 	}
 	return out
 }
@@ -216,15 +245,25 @@ type GroupStats struct {
 // smaller than minCount are dropped, mirroring the paper's ">2 counts"
 // rule.
 func ByNodes(rp *dataset.Repository, minCount int) []GroupStats {
-	return groupStats(rp.ByNodes(), minCount)
+	cs := rp.Columns()
+	groups, _ := groupRowsByInt(cs.NodesCol())
+	return groupStats(cs, groups, minCount)
 }
 
 // ByChips aggregates single-node servers by chip count (Fig. 14).
 func ByChips(rp *dataset.Repository, minCount int) []GroupStats {
-	return groupStats(rp.SingleNode().ByChips(), minCount)
+	cs := rp.Columns()
+	nodes, chips := cs.NodesCol(), cs.ChipsCol()
+	groups := make(map[int][]int32)
+	for i, n := range nodes {
+		if n == 1 {
+			groups[int(chips[i])] = append(groups[int(chips[i])], int32(i))
+		}
+	}
+	return groupStats(cs, groups, minCount)
 }
 
-func groupStats(groups map[int][]*dataset.Result, minCount int) []GroupStats {
+func groupStats(cs *dataset.ColumnStore, groups map[int][]int32, minCount int) []GroupStats {
 	keys := make([]int, 0, len(groups))
 	for k := range groups {
 		if len(groups[k]) >= minCount {
@@ -232,15 +271,16 @@ func groupStats(groups map[int][]*dataset.Result, minCount int) []GroupStats {
 		}
 	}
 	sort.Ints(keys)
+	epCol, eeCol := cs.EPCol(), cs.OverallEECol()
 	return par.Map(len(keys), func(i int) GroupStats {
 		k := keys[i]
-		rs := groups[k]
-		eps, ees := metricSlices(rs)
+		eps := gather(epCol, groups[k])
+		ees := gather(eeCol, groups[k])
 		medEP, _ := stats.Median(eps)
 		medEE, _ := stats.Median(ees)
 		return GroupStats{
 			Key:      k,
-			N:        len(rs),
+			N:        len(eps),
 			MeanEP:   stats.MustMean(eps),
 			MedianEP: medEP,
 			MeanEE:   stats.MustMean(ees),
@@ -277,22 +317,30 @@ type TwoChipYear struct {
 // TwoChipVsAll compares 2-chip single-node servers against all servers
 // per hardware availability year (Fig. 15).
 func TwoChipVsAll(rp *dataset.Repository) TwoChipComparison {
-	two := rp.SingleNode().Filter(func(r *dataset.Result) bool { return r.Chips == 2 })
-	byYearTwo := two.ByHWYear()
-	byYearAll := rp.ByHWYear()
+	cs := rp.Columns()
+	hwYears, nodes, chips := cs.HWYearCol(), cs.NodesCol(), cs.ChipsCol()
+	byYearAll := make(map[int][]int32)
+	byYearTwo := make(map[int][]int32)
+	for i, y := range hwYears {
+		byYearAll[int(y)] = append(byYearAll[int(y)], int32(i))
+		if nodes[i] == 1 && chips[i] == 2 {
+			byYearTwo[int(y)] = append(byYearTwo[int(y)], int32(i))
+		}
+	}
 	years := make([]int, 0, len(byYearTwo))
 	for y := range byYearTwo {
 		years = append(years, y)
 	}
 	sort.Ints(years)
 
+	epCol, eeCol := cs.EPCol(), cs.OverallEECol()
 	var cmp TwoChipComparison
 	var sumMeanEP, sumMeanEE, sumMedEP, sumMedEE float64
 	cmp.Years = par.Map(len(years), func(i int) TwoChipYear {
 		y := years[i]
-		twoEPs, twoEEs := metricSlices(byYearTwo[y])
-		allEPs, allEEs := metricSlices(byYearAll[y])
-		ty := TwoChipYear{Year: y, TwoChipN: len(byYearTwo[y])}
+		twoEPs, twoEEs := gather(epCol, byYearTwo[y]), gather(eeCol, byYearTwo[y])
+		allEPs, allEEs := gather(epCol, byYearAll[y]), gather(eeCol, byYearAll[y])
+		ty := TwoChipYear{Year: y, TwoChipN: len(twoEPs)}
 		ty.TwoChipMeanEP = stats.MustMean(twoEPs)
 		ty.AllMeanEP = stats.MustMean(allEPs)
 		ty.TwoChipMeanEE = stats.MustMean(twoEEs)
@@ -329,17 +377,17 @@ type PeakShiftRow struct {
 }
 
 // PeakShift computes the Fig. 16 series by hardware availability year.
-// Each year's tally runs in parallel over the memoized peak spots.
+// Each year's tally reads the flattened peak-spot column in parallel.
 func PeakShift(rp *dataset.Repository) []PeakShiftRow {
-	byYear := rp.ByHWYear()
-	years := rp.HWYears()
+	cs := rp.Columns()
+	byYear, years := groupRowsByInt(cs.HWYearCol())
+	spotOff, spots := cs.PeakSpotOffsets(), cs.PeakSpotCol()
 	return par.Map(len(years), func(i int) PeakShiftRow {
 		y := years[i]
 		row := PeakShiftRow{Year: y, Counts: make(map[float64]int)}
 		for _, r := range byYear[y] {
-			_, utils := r.PeakEE()
-			for _, u := range utils {
-				row.Counts[roundLevel(u)]++
+			for s := spotOff[r]; s < spotOff[r+1]; s++ {
+				row.Counts[roundLevel(spots[s])]++
 				row.Spots++
 			}
 		}
@@ -351,17 +399,22 @@ func PeakShift(rp *dataset.Repository) []PeakShiftRow {
 // keyed by utilization level; shares are over servers (not spots),
 // matching the paper's percentages.
 func PeakShiftShares(rp *dataset.Repository, from, to int) map[float64]float64 {
-	sub := rp.YearRange(from, to)
+	cs := rp.Columns()
+	spotOff, spots := cs.PeakSpotOffsets(), cs.PeakSpotCol()
 	counts := make(map[float64]int)
-	for _, r := range sub.All() {
-		_, utils := r.PeakEE()
-		for _, u := range utils {
-			counts[roundLevel(u)]++
+	servers := 0
+	for i, y := range cs.HWYearCol() {
+		if int(y) < from || int(y) > to {
+			continue
+		}
+		servers++
+		for s := spotOff[i]; s < spotOff[i+1]; s++ {
+			counts[roundLevel(spots[s])]++
 		}
 	}
 	out := make(map[float64]float64, len(counts))
 	for u, c := range counts {
-		out[u] = float64(c) / float64(sub.Len())
+		out[u] = float64(c) / float64(servers)
 	}
 	return out
 }
@@ -380,26 +433,32 @@ type MPCBucket struct {
 // two decimals) and keeps buckets with at least minCount servers —
 // Table I uses 10, which keeps 430 of the 477 servers.
 func MemoryPerCore(rp *dataset.Repository, minCount int) []MPCBucket {
-	groups := make(map[float64][]*dataset.Result)
-	for _, r := range rp.All() {
-		k := math.Round(r.MemoryPerCore()*100) / 100
-		groups[k] = append(groups[k], r)
+	cs := rp.Columns()
+	memGB, chips, cores := cs.MemoryGBCol(), cs.ChipsCol(), cs.CoresPerChipCol()
+	groups := make(map[float64][]int32)
+	for i := range memGB {
+		mpc := 0.0
+		if total := int(chips[i]) * int(cores[i]); total != 0 {
+			mpc = memGB[i] / float64(total)
+		}
+		k := math.Round(mpc*100) / 100
+		groups[k] = append(groups[k], int32(i))
 	}
 	keys := make([]float64, 0, len(groups))
-	for k, rs := range groups {
-		if len(rs) >= minCount {
+	for k, g := range groups {
+		if len(g) >= minCount {
 			keys = append(keys, k)
 		}
 	}
 	sort.Float64s(keys)
+	epCol, eeCol := cs.EPCol(), cs.OverallEECol()
 	return par.Map(len(keys), func(i int) MPCBucket {
 		k := keys[i]
-		eps, ees := metricSlices(groups[k])
 		return MPCBucket{
 			GBPerCore: k,
 			Count:     len(groups[k]),
-			MeanEP:    stats.MustMean(eps),
-			MeanEE:    stats.MustMean(ees),
+			MeanEP:    stats.MustMean(gather(epCol, groups[k])),
+			MeanEE:    stats.MustMean(gather(eeCol, groups[k])),
 		}
 	})
 }

@@ -7,13 +7,18 @@ import (
 	"repro/internal/stats"
 )
 
-// firstCurveError returns the memoized curve error of the first invalid
-// result in repository order, or nil when every curve is valid — the
-// same error a sequential curve-building loop would surface first.
+// firstCurveError returns the curve error of the first invalid result
+// in repository order, or nil when every curve is valid — the same
+// error a sequential curve-building loop would surface first. The valid
+// path reads one precomputed flag; only a failure materializes a row.
 func firstCurveError(rp *dataset.Repository) error {
-	for _, r := range rp.All() {
-		if _, err := r.Curve(); err != nil {
-			return err
+	cs := rp.Columns()
+	if cs.AllCurvesOK() {
+		return nil
+	}
+	for i, ok := range cs.CurveOKCol() {
+		if !ok {
+			return cs.CurveErr(i)
 		}
 	}
 	return nil
@@ -132,46 +137,58 @@ type AsyncStats struct {
 	Overlap float64
 }
 
-// Asynchronization computes the §IV.B top-decile statistics.
+// Asynchronization computes the §IV.B top-decile statistics. The
+// deciles come from stable argsorts over the metric columns — the same
+// permutation the materializing sorts produced — so no result views are
+// built.
 func Asynchronization(rp *dataset.Repository) AsyncStats {
-	n := rp.Len()
+	cs := rp.Columns()
+	n := cs.Len()
 	topN := n / 10
 	out := AsyncStats{TopN: topN}
 	if topN == 0 {
 		return out
 	}
-	in2012 := rp.YearRange(2012, 2012).Len()
+	hwYears := cs.HWYearCol()
+	in2012, late2015 := 0, 0
+	for _, y := range hwYears {
+		if y == 2012 {
+			in2012++
+		}
+		if y >= 2015 && y <= 2016 {
+			late2015++
+		}
+	}
 	out.Share2012 = float64(in2012) / float64(n)
 
-	byEP := rp.SortByEP()
-	topEP := byEP[len(byEP)-topN:]
+	ids := cs.IDCol()
+	byEP := dataset.ArgsortStable(cs.EPCol())
 	topEPSet := make(map[string]bool, topN)
 	ep2012 := 0
-	for _, r := range topEP {
-		topEPSet[r.ID] = true
-		if r.HWAvailYear == 2012 {
+	for _, r := range byEP[n-topN:] {
+		topEPSet[ids[r]] = true
+		if hwYears[r] == 2012 {
 			ep2012++
 		}
 	}
 	out.TopEPFrom2012 = float64(ep2012) / float64(topN)
 
-	byEE := rp.SortByOverallEE()
-	topEE := byEE[len(byEE)-topN:]
+	byEE := dataset.ArgsortStable(cs.OverallEECol())
 	ee2012, late, overlap := 0, 0, 0
-	for _, r := range topEE {
-		if r.HWAvailYear == 2012 {
+	for _, r := range byEE[n-topN:] {
+		if hwYears[r] == 2012 {
 			ee2012++
 		}
-		if r.HWAvailYear >= 2015 {
+		if hwYears[r] >= 2015 {
 			late++
 		}
-		if topEPSet[r.ID] {
+		if topEPSet[ids[r]] {
 			overlap++
 		}
 	}
 	out.TopEEFrom2012 = float64(ee2012) / float64(topN)
 	out.Servers20152016InTopEE = late
-	out.Servers20152016 = rp.YearRange(2015, 2016).Len()
+	out.Servers20152016 = late2015
 	out.Overlap = float64(overlap) / float64(topN)
 	return out
 }

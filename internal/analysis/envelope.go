@@ -30,17 +30,17 @@ type Envelope struct {
 // least proportional server and the lower edge to the most
 // proportional one.
 func PowerEnvelope(rp *dataset.Repository) Envelope {
-	return envelope(rp, func(c *core.Curve) []float64 { return c.NormalizedPower() })
+	return envelope(rp, true)
 }
 
 // EEEnvelope computes the almond chart band: efficiency normalized to
 // the 100% level across all servers.
 func EEEnvelope(rp *dataset.Repository) Envelope {
-	return envelope(rp, func(c *core.Curve) []float64 { return c.NormalizedEE() })
+	return envelope(rp, false)
 }
 
-// envelopePartial is one worker's reduction over a contiguous slice of
-// the repository: per-level extrema plus the extreme-EP servers seen.
+// envelopePartial is one worker's reduction over a contiguous row range
+// of the store: per-level extrema plus the extreme-EP servers seen.
 type envelopePartial struct {
 	lower, upper     []float64
 	minEP, maxEP     float64
@@ -48,10 +48,16 @@ type envelopePartial struct {
 	haveMin, haveMax bool
 }
 
-func envelope(rp *dataset.Repository, series func(*core.Curve) []float64) Envelope {
+// envelope reduces the normalized power (normPower=true) or normalized
+// efficiency series of every standard-grid curve straight from the
+// flattened level columns — the per-row values are exactly what
+// Curve.NormalizedPower / Curve.NormalizedEE return, so the band is
+// bit-identical to the result-walking reduction.
+func envelope(rp *dataset.Repository, normPower bool) Envelope {
+	cs := rp.Columns()
 	env := Envelope{
 		Utilizations: append([]float64(nil), core.StandardUtilizations...),
-		N:            rp.Len(),
+		N:            cs.Len(),
 	}
 	grid := len(env.Utilizations)
 	env.Lower = make([]float64, grid)
@@ -61,12 +67,19 @@ func envelope(rp *dataset.Repository, series func(*core.Curve) []float64) Envelo
 		env.Upper[i] = math.Inf(-1)
 	}
 
+	off := cs.LevelOffsets()
+	levelPower := cs.LevelPowerCol()
+	levelEE := cs.LevelEECol()
+	idleWatts := cs.IdleWattsCol()
+	epCol := cs.EPCol()
+	curveOK := cs.CurveOKCol()
+	ids := cs.IDCol()
+
 	// Fan out contiguous chunks, then merge the partial envelopes in
 	// chunk order: min/max are associative and ties on EP resolve to the
 	// first result in repository order, exactly as the sequential loop
 	// with strict comparisons did.
-	results := rp.All()
-	chunks := par.Chunks(len(results))
+	chunks := par.Chunks(cs.Len())
 	partials := par.Map(len(chunks), func(ci int) envelopePartial {
 		p := envelopePartial{
 			lower: make([]float64, grid),
@@ -78,22 +91,44 @@ func envelope(rp *dataset.Repository, series func(*core.Curve) []float64) Envelo
 			p.lower[i] = math.Inf(1)
 			p.upper[i] = math.Inf(-1)
 		}
-		for _, r := range results[chunks[ci].Lo:chunks[ci].Hi] {
-			c := r.MustCurve()
-			vals := series(c)
-			if len(vals) != grid {
-				continue // non-standard grid; cannot participate in the band
+		vals := make([]float64, grid)
+		for r := chunks[ci].Lo; r < chunks[ci].Hi; r++ {
+			if !curveOK[r] {
+				// Identical to the MustCurve panic on the result path.
+				cs.Result(r).MustCurve()
 			}
-			for i, v := range vals {
-				p.lower[i] = math.Min(p.lower[i], v)
-				p.upper[i] = math.Max(p.upper[i], v)
+			lo, hi := off[r], off[r+1]
+			if int(hi-lo)+1 == grid {
+				if normPower {
+					peak := levelPower[hi-1]
+					vals[0] = idleWatts[r] / peak
+					for j := lo; j < hi; j++ {
+						vals[int(j-lo)+1] = levelPower[j] / peak
+					}
+				} else {
+					full := levelEE[hi-1]
+					if full <= 0 {
+						for j := range vals {
+							vals[j] = 0
+						}
+					} else {
+						vals[0] = 0
+						for j := lo; j < hi; j++ {
+							vals[int(j-lo)+1] = levelEE[j] / full
+						}
+					}
+				}
+				for i, v := range vals {
+					p.lower[i] = math.Min(p.lower[i], v)
+					p.upper[i] = math.Max(p.upper[i], v)
+				}
 			}
-			ep := r.EP()
+			ep := epCol[r]
 			if ep < p.minEP {
-				p.minEP, p.upperID, p.haveMin = ep, r.ID, true
+				p.minEP, p.upperID, p.haveMin = ep, ids[r], true
 			}
 			if ep > p.maxEP {
-				p.maxEP, p.lowerID, p.haveMax = ep, r.ID, true
+				p.maxEP, p.lowerID, p.haveMax = ep, ids[r], true
 			}
 		}
 		return p
@@ -145,29 +180,32 @@ var paperRepresentatives = []struct {
 // SelectRepresentatives picks, for each of the paper's eleven
 // representative (year, EP) pairs, the server of that year whose EP is
 // closest — exact matches when run on the synthetic corpus, nearest
-// neighbours on any other dataset. Results are ordered by EP.
+// neighbours on any other dataset. Results are ordered by EP. The scan
+// reads the year and EP columns; only the eleven winners materialize.
 func SelectRepresentatives(rp *dataset.Repository) []Representative {
-	used := make(map[string]bool)
+	cs := rp.Columns()
+	hwYears, eps := cs.HWYearCol(), cs.EPCol()
+	used := make(map[int]bool, len(paperRepresentatives))
 	out := make([]Representative, 0, len(paperRepresentatives))
 	for _, want := range paperRepresentatives {
-		var best *dataset.Result
+		best := -1
 		bestGap := math.Inf(1)
-		for _, r := range rp.YearRange(want.year, want.year).All() {
-			if used[r.ID] {
+		for i, y := range hwYears {
+			if int(y) != want.year || used[i] {
 				continue
 			}
-			if gap := math.Abs(r.EP() - want.ep); gap < bestGap {
-				best, bestGap = r, gap
+			if gap := math.Abs(eps[i] - want.ep); gap < bestGap {
+				best, bestGap = i, gap
 			}
 		}
-		if best == nil {
+		if best < 0 {
 			continue
 		}
-		used[best.ID] = true
+		used[best] = true
 		out = append(out, Representative{
-			Result: best,
-			EP:     best.EP(),
-			Label:  labelFor(want.year, best.EP()),
+			Result: cs.Result(best),
+			EP:     eps[best],
+			Label:  labelFor(want.year, eps[best]),
 		})
 	}
 	sort.SliceStable(out, func(i, j int) bool { return out[i].EP < out[j].EP })

@@ -26,25 +26,32 @@ type GapRow struct {
 	PeakRegionGap float64
 }
 
-// ProportionalityGapByYear computes the per-level gap trend.
+// ProportionalityGapByYear computes the per-level gap trend. The
+// per-row gap p_norm(u) − u comes straight from the flattened level
+// columns — exactly Curve.ProportionalityGap on a standard-grid curve.
 func ProportionalityGapByYear(rp *dataset.Repository) ([]GapRow, error) {
-	byYear := rp.ByHWYear()
-	years := rp.HWYears()
+	cs := rp.Columns()
+	byYear, years := groupRowsByInt(cs.HWYearCol())
+	off := cs.LevelOffsets()
+	levelPower, levelTarget := cs.LevelPowerCol(), cs.LevelTargetCol()
+	idleWatts := cs.IdleWattsCol()
+	curveOK := cs.CurveOKCol()
 	grid := len(core.StandardUtilizations)
 	out := make([]GapRow, 0, len(years))
 	for _, y := range years {
 		row := GapRow{Year: y, MeanGap: make([]float64, grid)}
 		for _, r := range byYear[y] {
-			c, err := r.Curve()
-			if err != nil {
-				return nil, fmt.Errorf("analysis: gap: %w", err)
+			if !curveOK[r] {
+				return nil, fmt.Errorf("analysis: gap: %w", cs.CurveErr(int(r)))
 			}
-			gaps := c.ProportionalityGap()
-			if len(gaps) != grid {
+			lo, hi := off[r], off[r+1]
+			if int(hi-lo)+1 != grid {
 				continue
 			}
-			for i, g := range gaps {
-				row.MeanGap[i] += g
+			peak := levelPower[hi-1]
+			row.MeanGap[0] += idleWatts[r] / peak
+			for j := lo; j < hi; j++ {
+				row.MeanGap[int(j-lo)+1] += levelPower[j]/peak - levelTarget[j]
 			}
 			row.N++
 		}

@@ -28,23 +28,34 @@ type EraRate struct {
 // Sandy Bridge era compared to 2007-2012 while efficiency kept
 // compounding.
 func ImprovementRates(rp *dataset.Repository, eras [][2]int) ([]EraRate, error) {
+	cs := rp.Columns()
+	hwYears := cs.HWYearCol()
+	epCol, eeCol := cs.EPCol(), cs.OverallEECol()
+	curveOK := cs.CurveOKCol()
 	out := make([]EraRate, 0, len(eras))
 	for _, era := range eras {
-		sub := rp.YearRange(era[0], era[1])
-		if sub.Len() < 3 {
-			return nil, fmt.Errorf("analysis: era %d-%d has only %d servers", era[0], era[1], sub.Len())
-		}
-		years := make([]float64, 0, sub.Len())
-		eps := make([]float64, 0, sub.Len())
-		logEEs := make([]float64, 0, sub.Len())
-		for _, r := range sub.All() {
-			c, err := r.Curve()
-			if err != nil {
-				return nil, fmt.Errorf("analysis: era rates: %w", err)
+		n := 0
+		for _, y := range hwYears {
+			if int(y) >= era[0] && int(y) <= era[1] {
+				n++
 			}
-			years = append(years, float64(r.HWAvailYear))
-			eps = append(eps, c.EP())
-			logEEs = append(logEEs, math.Log(math.Max(c.OverallEE(), 1e-9)))
+		}
+		if n < 3 {
+			return nil, fmt.Errorf("analysis: era %d-%d has only %d servers", era[0], era[1], n)
+		}
+		years := make([]float64, 0, n)
+		eps := make([]float64, 0, n)
+		logEEs := make([]float64, 0, n)
+		for i, y := range hwYears {
+			if int(y) < era[0] || int(y) > era[1] {
+				continue
+			}
+			if !curveOK[i] {
+				return nil, fmt.Errorf("analysis: era rates: %w", cs.CurveErr(i))
+			}
+			years = append(years, float64(y))
+			eps = append(eps, epCol[i])
+			logEEs = append(logEEs, math.Log(math.Max(eeCol[i], 1e-9)))
 		}
 		epFit, err := stats.TheilSen(years, eps)
 		if err != nil {
@@ -57,7 +68,7 @@ func ImprovementRates(rp *dataset.Repository, eras [][2]int) ([]EraRate, error) 
 		out = append(out, EraRate{
 			FromYear:        era[0],
 			ToYear:          era[1],
-			N:               sub.Len(),
+			N:               n,
 			EPPerYear:       epFit.Slope,
 			EEGrowthPerYear: math.Expm1(eeFit.Slope),
 		})

@@ -274,10 +274,12 @@ func (c *Curve) OverallEE() float64 {
 	return ops / watts
 }
 
-// peakEETolerance is the relative tolerance under which two levels'
+// PeakEETolerance is the relative tolerance under which two levels'
 // efficiencies count as tied for the peak (the dataset contains a 2011
-// server whose 80% and 90% levels tie exactly).
-const peakEETolerance = 1e-9
+// server whose 80% and 90% levels tie exactly). Exported so the
+// columnar metric kernel in internal/dataset applies the identical
+// tie rule.
+const PeakEETolerance = 1e-9
 
 // PeakEE returns the greatest energy efficiency across all measured
 // levels and every utilization at which it occurs (ties included,
@@ -289,7 +291,7 @@ func (c *Curve) PeakEE() (value float64, utilizations []float64) {
 		}
 	}
 	for _, p := range c.points[1:] {
-		if ee := p.EE(); ee >= value*(1-peakEETolerance) {
+		if ee := p.EE(); ee >= value*(1-PeakEETolerance) {
 			utilizations = append(utilizations, p.Utilization)
 		}
 	}

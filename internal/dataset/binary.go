@@ -134,22 +134,17 @@ type BinaryReader struct {
 	buf []byte
 }
 
-// NewBinaryReader checks the format header and returns a reader.
+// NewBinaryReader checks the format header and returns a record reader.
+// It accepts only the v1 record layout; use ReadColumns (or ReadBinary)
+// for streams that may be in the v2 columnar layout.
 func NewBinaryReader(r io.Reader) (*BinaryReader, error) {
 	br := &BinaryReader{r: bufio.NewReader(r)}
-	var magic [4]byte
-	if _, err := io.ReadFull(br.r, magic[:]); err != nil {
-		return nil, fmt.Errorf("dataset: read binary header: %w", err)
-	}
-	if magic != binaryMagic {
-		return nil, fmt.Errorf("dataset: bad binary magic %q", magic[:])
-	}
-	version, err := binary.ReadUvarint(br.r)
+	version, err := readBinaryHeader(br.r)
 	if err != nil {
-		return nil, fmt.Errorf("dataset: read binary version: %w", err)
+		return nil, err
 	}
 	if version != binaryVersion {
-		return nil, fmt.Errorf("dataset: unsupported binary version %d (want %d)", version, binaryVersion)
+		return nil, fmt.Errorf("dataset: unsupported binary version %d (record reader wants %d; use ReadColumns)", version, binaryVersion)
 	}
 	return br, nil
 }
@@ -293,21 +288,36 @@ func WriteBinary(w io.Writer, results []*Result) error {
 	return bw.Flush()
 }
 
-// ReadBinary parses results written by WriteBinary.
+// ReadBinary parses results written by WriteBinary or WriteColumns:
+// v1 streams record views directly, v2 decodes columns and materializes
+// the adapter views.
 func ReadBinary(r io.Reader) ([]*Result, error) {
-	br, err := NewBinaryReader(r)
+	buf := bufio.NewReader(r)
+	version, err := readBinaryHeader(buf)
 	if err != nil {
 		return nil, err
 	}
-	var out []*Result
-	for {
-		res, err := br.Read()
-		if err == io.EOF {
-			return out, nil
+	switch version {
+	case binaryVersion:
+		br := &BinaryReader{r: buf}
+		var out []*Result
+		for {
+			res, err := br.Read()
+			if err == io.EOF {
+				return out, nil
+			}
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, res)
 		}
+	case binaryVersionColumnar:
+		cs, err := readColumnsV2(buf)
 		if err != nil {
 			return nil, err
 		}
-		out = append(out, res)
+		return cs.Materialize(), nil
+	default:
+		return nil, fmt.Errorf("dataset: unsupported binary version %d", version)
 	}
 }

@@ -33,17 +33,60 @@ func buildCSVHeader() []string {
 
 // WriteCSV writes the results as CSV with a header row.
 func WriteCSV(w io.Writer, results []*Result) error {
-	cw := csv.NewWriter(w)
-	if err := cw.Write(csvHeader); err != nil {
+	cw := NewCSVWriter(w)
+	if err := cw.Append(results); err != nil {
+		return err
+	}
+	return cw.Flush()
+}
+
+// CSVWriter streams results to CSV batch by batch, writing the header
+// exactly once — the streaming face of WriteCSV for fleet-scale
+// generation, where the corpus never exists in memory at once. The
+// concatenation of all Append batches produces byte-identical output to
+// a single WriteCSV call over the combined slice.
+type CSVWriter struct {
+	cw          *csv.Writer
+	wroteHeader bool
+}
+
+// NewCSVWriter wraps w in a streaming CSV writer.
+func NewCSVWriter(w io.Writer) *CSVWriter {
+	return &CSVWriter{cw: csv.NewWriter(w)}
+}
+
+func (c *CSVWriter) header() error {
+	if c.wroteHeader {
+		return nil
+	}
+	c.wroteHeader = true
+	if err := c.cw.Write(csvHeader); err != nil {
 		return fmt.Errorf("dataset: write csv header: %w", err)
 	}
+	return nil
+}
+
+// Append writes one batch of rows (and the header, on the first call).
+func (c *CSVWriter) Append(results []*Result) error {
+	if err := c.header(); err != nil {
+		return err
+	}
 	for _, r := range results {
-		if err := cw.Write(toCSVRow(r)); err != nil {
+		if err := c.cw.Write(toCSVRow(r)); err != nil {
 			return fmt.Errorf("dataset: write csv row %s: %w", r.ID, err)
 		}
 	}
-	cw.Flush()
-	if err := cw.Error(); err != nil {
+	return nil
+}
+
+// Flush drains the writer (emitting the header if no batch did) and
+// reports any deferred write error.
+func (c *CSVWriter) Flush() error {
+	if err := c.header(); err != nil {
+		return err
+	}
+	c.cw.Flush()
+	if err := c.cw.Error(); err != nil {
 		return fmt.Errorf("dataset: flush csv: %w", err)
 	}
 	return nil
@@ -166,6 +209,57 @@ func WriteJSON(w io.Writer, results []*Result) error {
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(results); err != nil {
 		return fmt.Errorf("dataset: encode json: %w", err)
+	}
+	return nil
+}
+
+// JSONWriter streams results as an indented JSON array batch by batch
+// — the streaming face of WriteJSON. For any non-empty sequence of
+// batches the concatenated output is byte-identical to WriteJSON over
+// the combined slice; an empty stream closes as "[]".
+type JSONWriter struct {
+	w    io.Writer
+	rows int
+}
+
+// NewJSONWriter wraps w in a streaming JSON array writer.
+func NewJSONWriter(w io.Writer) *JSONWriter {
+	return &JSONWriter{w: w}
+}
+
+// Append encodes one batch of results into the array.
+func (j *JSONWriter) Append(results []*Result) error {
+	for _, r := range results {
+		sep := ",\n  "
+		if j.rows == 0 {
+			sep = "[\n  "
+		}
+		// MarshalIndent with a two-space prefix renders the element
+		// exactly as encoding/json renders it at depth 1 inside an
+		// indented array, so batches concatenate to WriteJSON's bytes.
+		b, err := json.MarshalIndent(r, "  ", "  ")
+		if err != nil {
+			return fmt.Errorf("dataset: encode json %s: %w", r.ID, err)
+		}
+		if _, err := io.WriteString(j.w, sep); err != nil {
+			return fmt.Errorf("dataset: write json: %w", err)
+		}
+		if _, err := j.w.Write(b); err != nil {
+			return fmt.Errorf("dataset: write json: %w", err)
+		}
+		j.rows++
+	}
+	return nil
+}
+
+// Close terminates the array.
+func (j *JSONWriter) Close() error {
+	tail := "\n]\n"
+	if j.rows == 0 {
+		tail = "[]\n"
+	}
+	if _, err := io.WriteString(j.w, tail); err != nil {
+		return fmt.Errorf("dataset: write json: %w", err)
 	}
 	return nil
 }

@@ -1,0 +1,118 @@
+package dataset_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+// deriveTestCorpus is the seed-1 corpus plus tampered clones that
+// exercise every branch of the columnar metric kernel: invalid curves,
+// valid-but-non-compliant rows, and NaN measurements (which sail
+// through every ordered comparison exactly like they do in Validate
+// and core.NewCurve).
+func deriveTestCorpus(t *testing.T) []*dataset.Result {
+	t.Helper()
+	rs := binaryTestCorpus(t)
+	tamper := func(i int, mutate func(*dataset.Result)) {
+		c := rs[i].Clone()
+		c.ID = c.ID + "-tampered"
+		mutate(c)
+		rs = append(rs, c)
+	}
+	tamper(0, func(r *dataset.Result) { r.Levels[3].AvgPowerWatts = 0 })                 // invalid curve
+	tamper(1, func(r *dataset.Result) { r.Levels = r.Levels[:5] })                       // grid ends below 1.0
+	tamper(2, func(r *dataset.Result) { r.Levels[7].OpsPerSec = r.Levels[6].OpsPerSec }) // non-monotone ops
+	tamper(3, func(r *dataset.Result) { r.HWAvailYear = 1999 })                          // out-of-window year
+	tamper(4, func(r *dataset.Result) { r.Levels[2].ActualLoad = 0.9 })                  // load deviation
+	tamper(5, func(r *dataset.Result) { r.ID = "" })                                     // missing id
+	tamper(6, func(r *dataset.Result) { r.ActiveIdleWatts = r.Levels[9].AvgPowerWatts }) // idle ≥ full
+	tamper(7, func(r *dataset.Result) { r.Levels[9].OpsPerSec = math.NaN() })            // NaN throughput
+	tamper(8, func(r *dataset.Result) { r.Chips = 3; r.Nodes = 2 })                      // chips % nodes ≠ 0
+	tamper(9, func(r *dataset.Result) {
+		// Zero throughput everywhere: PeakEE's max stays 0, so every
+		// level ties for the "peak" spot — the kernel must reproduce
+		// that degenerate spot list too.
+		for i := range r.Levels {
+			r.Levels[i].OpsPerSec = 0
+		}
+	})
+	return rs
+}
+
+// TestDerivedColumnsBitIdentical pins the columnar metric kernel
+// (derive.go) against the memoized Result-bundle path: every derived
+// column a column-born store computes from raw columns must equal,
+// bit for bit, what the result-born store computes through core.Curve.
+func TestDerivedColumnsBitIdentical(t *testing.T) {
+	rs := deriveTestCorpus(t)
+	colStore := dataset.NewColumnRepository(dataset.BuildColumns(rs)).Columns() // columnar kernel
+	resStore := dataset.NewRepository(rs).Columns()                             // memoized bundles
+
+	eqF := func(name string, got, want []float64) {
+		t.Helper()
+		if len(got) != len(want) {
+			t.Fatalf("%s: len %d, want %d", name, len(got), len(want))
+		}
+		for i := range got {
+			if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+				t.Fatalf("%s[%d]: %v (%#x) != %v (%#x)", name, i,
+					got[i], math.Float64bits(got[i]), want[i], math.Float64bits(want[i]))
+			}
+		}
+	}
+	eqB := func(name string, got, want []bool) {
+		t.Helper()
+		if len(got) != len(want) {
+			t.Fatalf("%s: len %d, want %d", name, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("%s[%d]: %v, want %v", name, i, got[i], want[i])
+			}
+		}
+	}
+	eqI := func(name string, got, want []int32) {
+		t.Helper()
+		if len(got) != len(want) {
+			t.Fatalf("%s: len %d, want %d", name, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("%s[%d]: %d, want %d", name, i, got[i], want[i])
+			}
+		}
+	}
+
+	eqF("EP", colStore.EPCol(), resStore.EPCol())
+	eqF("OverallEE", colStore.OverallEECol(), resStore.OverallEECol())
+	eqF("PeakEE", colStore.PeakEECol(), resStore.PeakEECol())
+	eqF("PeakEEUtil", colStore.PeakEEUtilCol(), resStore.PeakEEUtilCol())
+	eqF("IdleFraction", colStore.IdleFractionCol(), resStore.IdleFractionCol())
+	eqF("DynamicRange", colStore.DynamicRangeCol(), resStore.DynamicRangeCol())
+	eqF("PeakOverFull", colStore.PeakOverFullCol(), resStore.PeakOverFullCol())
+	eqF("LinearDev", colStore.LinearDevCol(), resStore.LinearDevCol())
+	eqF("LevelEE", colStore.LevelEECol(), resStore.LevelEECol())
+	eqI("PeakSpotOffsets", colStore.PeakSpotOffsets(), resStore.PeakSpotOffsets())
+	eqF("PeakSpots", colStore.PeakSpotCol(), resStore.PeakSpotCol())
+	eqB("CurveOK", colStore.CurveOKCol(), resStore.CurveOKCol())
+	eqB("Compliance", colStore.ComplianceCol(), resStore.ComplianceCol())
+	if colStore.AllCurvesOK() != resStore.AllCurvesOK() {
+		t.Errorf("AllCurvesOK: %v, want %v", colStore.AllCurvesOK(), resStore.AllCurvesOK())
+	}
+	if colStore.AllCompliant() != resStore.AllCompliant() {
+		t.Errorf("AllCompliant: %v, want %v", colStore.AllCompliant(), resStore.AllCompliant())
+	}
+
+	// The tampered tail must actually exercise the failure branches.
+	ok := colStore.CurveOKCol()
+	comp := colStore.ComplianceCol()
+	n := colStore.Len()
+	if ok[n-10] || ok[n-9] {
+		t.Error("tampered curves still report valid")
+	}
+	if comp[n-8] || comp[n-7] || comp[n-6] || comp[n-5] || comp[n-4] || comp[n-2] {
+		t.Error("tampered rows still report compliant")
+	}
+}

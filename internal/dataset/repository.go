@@ -1,86 +1,140 @@
 package dataset
 
 import (
+	"slices"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/microarch"
-	"repro/internal/par"
 )
 
 // Repository is an in-memory collection of results with the filtering
 // and grouping operations the analyses use. It stores pointers; callers
 // must not mutate results after adding them.
 //
-// The repository precomputes per-metric columns (EP, overall EE, peak
-// EE and its utilization, idle fraction, dynamic range) on first use;
-// EPs, OverallEEs, SortByEP, and the column accessors then read cached
-// float slices instead of rebuilding curves. Add invalidates the
-// columns; concurrent readers are safe, concurrent mutation is not.
+// The primary representation is the columnar ColumnStore: metric
+// accessors (EPs, OverallEEs, SortByEP, …) and the internal analyses
+// read struct-of-arrays columns, while All and the grouping helpers
+// materialize []*Result adapter views lazily. A repository born from
+// results builds its columns on first columnar access (sharing each
+// result's memoized metric bundle); a repository born from a
+// ColumnStore materializes result views on first row access.
+//
+// Concurrency contract: the repository state (results + columns) is an
+// immutable snapshot behind an atomic pointer. Readers never block and
+// never observe a half-updated state. Add publishes a brand-new
+// snapshot; readers that loaded the old snapshot keep reading the old
+// results and old columns, which stay internally consistent forever.
+// Concurrent Add calls serialize against each other.
 type Repository struct {
-	results []*Result
-
-	mu   sync.Mutex
-	cols *columns
+	mu    sync.Mutex // serializes Add and other writers
+	state atomic.Pointer[repoState]
 }
 
-// columns holds the precomputed metric slices, index-aligned with the
-// repository's result order.
-type columns struct {
-	eps          []float64
-	ees          []float64
-	peakEEs      []float64
-	peakEEUtils  []float64
-	idleFracs    []float64
-	dynRanges    []float64
-	peakOverFull []float64
+// repoState is one immutable snapshot. Exactly one of results/store may
+// be nil: nil results means "not materialized yet" (column-born), nil
+// store means "columns not built yet" (result-born). Lazy fills publish
+// a new snapshot via CompareAndSwap, so a snapshot's fields never
+// change after publication.
+type repoState struct {
+	results []*Result
+	store   *ColumnStore
+}
+
+func newRepoState(results []*Result, store *ColumnStore) *Repository {
+	rp := &Repository{}
+	rp.state.Store(&repoState{results: results, store: store})
+	return rp
 }
 
 // NewRepository builds a repository over the given results.
 func NewRepository(results []*Result) *Repository {
-	return &Repository{results: append([]*Result(nil), results...)}
+	rs := make([]*Result, len(results))
+	copy(rs, results)
+	return newRepoState(rs, nil)
 }
 
-// Add appends results and invalidates the precomputed metric columns.
+// NewColumnRepository builds a repository directly over a column store;
+// []*Result views materialize lazily on first row access.
+func NewColumnRepository(cs *ColumnStore) *Repository {
+	return newRepoState(nil, cs)
+}
+
+// Add appends results, publishing a new state snapshot. Concurrent
+// readers holding the previous snapshot (including its metric columns)
+// keep a consistent view of the repository as it was before Add; the
+// columns rebuild lazily for the new snapshot.
 func (rp *Repository) Add(results ...*Result) {
-	rp.results = append(rp.results, results...)
-	rp.mu.Lock()
-	rp.cols = nil
-	rp.mu.Unlock()
-}
-
-// metricColumns returns the precomputed columns, building them on first
-// use. The cold build fans out across CPUs: each result's curve and
-// metric bundle is computed once, in parallel, and every later call is
-// a cache read.
-func (rp *Repository) metricColumns() *columns {
 	rp.mu.Lock()
 	defer rp.mu.Unlock()
-	if rp.cols == nil {
-		n := len(rp.results)
-		c := &columns{
-			eps:          make([]float64, n),
-			ees:          make([]float64, n),
-			peakEEs:      make([]float64, n),
-			peakEEUtils:  make([]float64, n),
-			idleFracs:    make([]float64, n),
-			dynRanges:    make([]float64, n),
-			peakOverFull: make([]float64, n),
-		}
-		par.ForEach(n, func(i int) {
-			r := rp.results[i]
-			m := r.cached()
-			c.eps[i] = m.ep
-			c.ees[i] = m.overallEE
-			c.peakEEs[i] = m.peakEE
-			c.peakEEUtils[i] = r.PeakEEUtilization()
-			c.idleFracs[i] = m.idleFraction
-			c.dynRanges[i] = m.dynamicRange
-			c.peakOverFull[i] = m.peakOverFull
-		})
-		rp.cols = c
+	base := rp.resultsSlice()
+	merged := make([]*Result, 0, len(base)+len(results))
+	merged = append(merged, base...)
+	merged = append(merged, results...)
+	rp.state.Store(&repoState{results: merged})
+}
+
+// resultsSlice returns the materialized []*Result view, building and
+// publishing it on first use for column-born repositories. The returned
+// slice is shared: callers must not mutate it.
+func (rp *Repository) resultsSlice() []*Result {
+	st := rp.state.Load()
+	if st.results != nil {
+		return st.results
 	}
-	return rp.cols
+	mat := st.store.Materialize()
+	if mat == nil {
+		mat = []*Result{}
+	}
+	rp.state.CompareAndSwap(st, &repoState{results: mat, store: st.store})
+	// If another goroutine won the race, adopt its view so row pointer
+	// identity stays stable across calls.
+	if cur := rp.state.Load(); cur.results != nil && cur.store == st.store {
+		return cur.results
+	}
+	return mat
+}
+
+// columns returns the raw column store, building and publishing it on
+// first use for result-born repositories.
+func (rp *Repository) columns() *ColumnStore {
+	st := rp.state.Load()
+	if st.store != nil {
+		return st.store
+	}
+	cs := buildRawColumns(st.results)
+	rp.state.CompareAndSwap(st, &repoState{results: st.results, store: cs})
+	if cur := rp.state.Load(); cur.store != nil && sameResults(cur.results, st.results) {
+		return cur.store
+	}
+	return cs
+}
+
+func sameResults(a, b []*Result) bool {
+	return len(a) == len(b) && (len(a) == 0 || &a[0] == &b[0])
+}
+
+// metricStore returns the column store with its derived metric layer
+// built. For result-born repositories the build reads each result's
+// memoized bundle, so warm caches are shared rather than recomputed.
+func (rp *Repository) metricStore() *ColumnStore {
+	st := rp.state.Load()
+	cs := st.store
+	if cs == nil {
+		cs = rp.columns()
+	}
+	if !cs.MetricsBuilt() {
+		cs.buildDerived(st.results)
+	}
+	return cs
+}
+
+// Columns returns the repository's column store with the derived metric
+// layer built. The store and every column it exposes are read-only; the
+// analyses iterate these columns directly instead of walking []*Result.
+func (rp *Repository) Columns() *ColumnStore {
+	return rp.metricStore()
 }
 
 // Precompute eagerly builds the metric columns (and thereby every
@@ -88,7 +142,7 @@ func (rp *Repository) metricColumns() *columns {
 // the columns build themselves on first use — but lets callers pay the
 // cold cost up front, e.g. before serving queries.
 func (rp *Repository) Precompute() {
-	rp.metricColumns()
+	rp.metricStore()
 }
 
 func copyColumn(col []float64) []float64 {
@@ -96,68 +150,133 @@ func copyColumn(col []float64) []float64 {
 }
 
 // Len returns the number of stored results.
-func (rp *Repository) Len() int { return len(rp.results) }
+func (rp *Repository) Len() int {
+	st := rp.state.Load()
+	if st.results != nil {
+		return len(st.results)
+	}
+	return st.store.Len()
+}
+
+// At returns the result at index i (repository order). Column-born
+// repositories materialize the row views on first access.
+func (rp *Repository) At(i int) *Result {
+	return rp.resultsSlice()[i]
+}
 
 // All returns the stored results (shared pointers, fresh slice).
 func (rp *Repository) All() []*Result {
-	return append([]*Result(nil), rp.results...)
+	return append([]*Result(nil), rp.resultsSlice()...)
 }
 
 // Valid returns a repository containing only compliant results — the
 // paper's 517 → 477 step. Validation builds each result's curve, so the
 // check fans out across CPUs; repository order is preserved.
 func (rp *Repository) Valid() *Repository {
-	return rp.filterParallel(func(ok bool) bool { return ok })
+	return rp.filterCompliance(func(ok bool) bool { return ok })
 }
 
 // NonCompliant returns the results that fail validation.
 func (rp *Repository) NonCompliant() *Repository {
-	return rp.filterParallel(func(ok bool) bool { return !ok })
+	return rp.filterCompliance(func(ok bool) bool { return !ok })
 }
 
-// filterParallel keeps the results whose compliance verdict satisfies
-// keep. IsCompliant is a pure function of the result, so the verdicts
-// can be computed in parallel; the sequential pass then preserves order.
-func (rp *Repository) filterParallel(keep func(compliant bool) bool) *Repository {
-	verdicts := par.Map(len(rp.results), func(i int) bool {
-		return IsCompliant(rp.results[i])
-	})
-	out := make([]*Result, 0, len(rp.results))
-	for i, r := range rp.results {
-		if keep(verdicts[i]) {
-			out = append(out, r)
+// filterCompliance keeps the results whose compliance verdict satisfies
+// keep, reading the compliance column (computed in parallel on the cold
+// build) and preserving repository order.
+func (rp *Repository) filterCompliance(keep func(compliant bool) bool) *Repository {
+	st := rp.state.Load()
+	cs := rp.metricStore()
+	comp := cs.ComplianceCol()
+	if cs.AllCompliant() {
+		if keep(true) {
+			return newRepoState(st.results, cs)
+		}
+		return NewRepository(nil)
+	}
+	if st.results != nil {
+		out := make([]*Result, 0, len(st.results))
+		for i, r := range st.results {
+			if keep(comp[i]) {
+				out = append(out, r)
+			}
+		}
+		return newRepoState(out, nil)
+	}
+	return NewColumnRepository(cs.Gather(keepRows(cs.Len(), func(i int) bool { return keep(comp[i]) })))
+}
+
+func keepRows(n int, keep func(int) bool) []int32 {
+	out := make([]int32, 0, n)
+	for i := 0; i < n; i++ {
+		if keep(i) {
+			out = append(out, int32(i))
 		}
 	}
-	return &Repository{results: out}
+	return out
 }
 
 // Filter returns a repository of the results for which keep returns true.
 func (rp *Repository) Filter(keep func(*Result) bool) *Repository {
-	out := make([]*Result, 0, len(rp.results))
-	for _, r := range rp.results {
+	all := rp.resultsSlice()
+	out := make([]*Result, 0, len(all))
+	for _, r := range all {
 		if keep(r) {
 			out = append(out, r)
 		}
 	}
-	return &Repository{results: out}
+	return newRepoState(out, nil)
+}
+
+// filterColumns keeps the rows satisfying pred, staying columnar for
+// column-born repositories and walking the result views otherwise.
+func (rp *Repository) filterColumns(pred func(cs *ColumnStore, i int) bool, resPred func(*Result) bool) *Repository {
+	st := rp.state.Load()
+	if st.results != nil {
+		out := make([]*Result, 0, len(st.results))
+		for _, r := range st.results {
+			if resPred(r) {
+				out = append(out, r)
+			}
+		}
+		return newRepoState(out, nil)
+	}
+	cs := st.store
+	return NewColumnRepository(cs.Gather(keepRows(cs.Len(), func(i int) bool { return pred(cs, i) })))
 }
 
 // SingleNode returns only single-node results.
 func (rp *Repository) SingleNode() *Repository {
-	return rp.Filter(func(r *Result) bool { return r.Nodes == 1 })
+	return rp.filterColumns(
+		func(cs *ColumnStore, i int) bool { return cs.nodes[i] == 1 },
+		func(r *Result) bool { return r.Nodes == 1 })
 }
 
 // MultiNode returns only results with more than one node.
 func (rp *Repository) MultiNode() *Repository {
-	return rp.Filter(func(r *Result) bool { return r.Nodes > 1 })
+	return rp.filterColumns(
+		func(cs *ColumnStore, i int) bool { return cs.nodes[i] > 1 },
+		func(r *Result) bool { return r.Nodes > 1 })
 }
 
 // YearRange returns results whose hardware availability year lies in
 // [from, to] inclusive.
 func (rp *Repository) YearRange(from, to int) *Repository {
-	return rp.Filter(func(r *Result) bool {
-		return r.HWAvailYear >= from && r.HWAvailYear <= to
-	})
+	return rp.filterColumns(
+		func(cs *ColumnStore, i int) bool {
+			y := int(cs.hwYears[i])
+			return y >= from && y <= to
+		},
+		func(r *Result) bool { return r.HWAvailYear >= from && r.HWAvailYear <= to })
+}
+
+// YearMismatched returns results whose published year differs from their
+// hardware availability year — the 74 results (15.5%) the paper calls
+// out.
+func (rp *Repository) YearMismatched() *Repository {
+	return rp.filterColumns(
+		func(cs *ColumnStore, i int) bool { return cs.pubYears[i] != cs.hwYears[i] },
+		func(r *Result) bool { return r.PublishedYear != r.HWAvailYear })
 }
 
 // ByHWYear groups results by hardware availability year.
@@ -182,7 +301,7 @@ func (rp *Repository) ByChips() map[int][]*Result {
 
 func (rp *Repository) groupInt(key func(*Result) int) map[int][]*Result {
 	out := make(map[int][]*Result)
-	for _, r := range rp.results {
+	for _, r := range rp.resultsSlice() {
 		k := key(r)
 		out[k] = append(out[k], r)
 	}
@@ -192,7 +311,7 @@ func (rp *Repository) groupInt(key func(*Result) int) map[int][]*Result {
 // ByFamily groups results by microarchitecture family (Fig. 6).
 func (rp *Repository) ByFamily() map[microarch.Family][]*Result {
 	out := make(map[microarch.Family][]*Result)
-	for _, r := range rp.results {
+	for _, r := range rp.resultsSlice() {
 		f := r.Codename.Family()
 		out[f] = append(out[f], r)
 	}
@@ -202,7 +321,7 @@ func (rp *Repository) ByFamily() map[microarch.Family][]*Result {
 // ByCodename groups results by processor codename (Fig. 7).
 func (rp *Repository) ByCodename() map[microarch.Codename][]*Result {
 	out := make(map[microarch.Codename][]*Result)
-	for _, r := range rp.results {
+	for _, r := range rp.resultsSlice() {
 		out[r.Codename] = append(out[r.Codename], r)
 	}
 	return out
@@ -211,94 +330,150 @@ func (rp *Repository) ByCodename() map[microarch.Codename][]*Result {
 // HWYears returns the distinct hardware availability years in ascending
 // order.
 func (rp *Repository) HWYears() []int {
-	seen := make(map[int]bool)
-	for _, r := range rp.results {
-		seen[r.HWAvailYear] = true
-	}
-	years := make([]int, 0, len(seen))
-	for y := range seen {
-		years = append(years, y)
-	}
+	years := distinctInt32(rp.columns().hwYears)
 	sort.Ints(years)
 	return years
 }
 
+func distinctInt32(col []int32) []int {
+	seen := make(map[int]bool)
+	for _, v := range col {
+		seen[int(v)] = true
+	}
+	out := make([]int, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	return out
+}
+
 // EPs returns the energy proportionality of every result, in repository
-// order. The values come from the precomputed metric columns; only the
-// returned slice is freshly allocated.
+// order. The values come from the metric columns; only the returned
+// slice is freshly allocated.
 func (rp *Repository) EPs() []float64 {
-	return copyColumn(rp.metricColumns().eps)
+	return copyColumn(rp.metricStore().EPCol())
 }
 
 // OverallEEs returns the SPECpower score of every result, in repository
 // order.
 func (rp *Repository) OverallEEs() []float64 {
-	return copyColumn(rp.metricColumns().ees)
+	return copyColumn(rp.metricStore().OverallEECol())
 }
 
 // PeakEEs returns every result's peak energy efficiency, in repository
 // order.
 func (rp *Repository) PeakEEs() []float64 {
-	return copyColumn(rp.metricColumns().peakEEs)
+	return copyColumn(rp.metricStore().PeakEECol())
 }
 
 // PeakEEUtilizations returns, for every result in repository order, the
 // lowest utilization at which its peak efficiency occurs.
 func (rp *Repository) PeakEEUtilizations() []float64 {
-	return copyColumn(rp.metricColumns().peakEEUtils)
+	return copyColumn(rp.metricStore().PeakEEUtilCol())
 }
 
 // IdleFractions returns every result's idle-to-peak power ratio, in
 // repository order.
 func (rp *Repository) IdleFractions() []float64 {
-	return copyColumn(rp.metricColumns().idleFracs)
+	return copyColumn(rp.metricStore().IdleFractionCol())
 }
 
 // DynamicRanges returns every result's normalized power swing, in
 // repository order.
 func (rp *Repository) DynamicRanges() []float64 {
-	return copyColumn(rp.metricColumns().dynRanges)
+	return copyColumn(rp.metricStore().DynamicRangeCol())
 }
 
 // PeakOverFullRatios returns every result's peak-over-full-load
 // efficiency ratio, in repository order.
 func (rp *Repository) PeakOverFullRatios() []float64 {
-	return copyColumn(rp.metricColumns().peakOverFull)
+	return copyColumn(rp.metricStore().PeakOverFullCol())
 }
 
 // SortByEP returns the results sorted by ascending EP (stable, copy).
-// The sort compares precomputed keys, so it costs O(n log n) float
-// comparisons rather than O(n log n) curve rebuilds.
+// The sort compares precomputed column keys, so it costs O(n log n)
+// float comparisons rather than O(n log n) curve rebuilds.
 func (rp *Repository) SortByEP() []*Result {
-	return rp.sortByKey(rp.metricColumns().eps)
+	return rp.sortByKey(rp.metricStore().EPCol())
 }
 
 // SortByOverallEE returns the results sorted by ascending SPECpower
 // score (stable, copy).
 func (rp *Repository) SortByOverallEE() []*Result {
-	return rp.sortByKey(rp.metricColumns().ees)
+	return rp.sortByKey(rp.metricStore().OverallEECol())
 }
 
 // sortByKey stable-sorts a copy of the results by the given column,
-// which must be index-aligned with rp.results.
+// which must be index-aligned with the repository order.
 func (rp *Repository) sortByKey(keys []float64) []*Result {
-	idx := make([]int, len(rp.results))
-	for i := range idx {
-		idx[i] = i
-	}
-	sort.SliceStable(idx, func(a, b int) bool { return keys[idx[a]] < keys[idx[b]] })
+	idx := ArgsortStable(keys)
+	all := rp.resultsSlice()
 	out := make([]*Result, len(idx))
 	for i, j := range idx {
-		out[i] = rp.results[j]
+		out[i] = all[j]
 	}
 	return out
 }
 
-// YearMismatched returns results whose published year differs from their
-// hardware availability year — the 74 results (15.5%) the paper calls
-// out.
-func (rp *Repository) YearMismatched() *Repository {
-	return rp.Filter(func(r *Result) bool { return r.PublishedYear != r.HWAvailYear })
+// ArgsortStable returns the index permutation that stable-sorts keys
+// ascending: out[k] is the row index of the k-th smallest key, equal
+// keys staying in row order. NaNs compare equal to everything, matching
+// a stable sort under the < comparator.
+func ArgsortStable(keys []float64) []int32 {
+	for _, k := range keys {
+		if k != k { // NaN: the < comparator is no longer a total preorder
+			return argsortStableSlow(keys)
+		}
+	}
+	// NaN-free keys: an unstable sort of (key, index) pairs under the
+	// lexicographic order produces exactly the stable permutation —
+	// ties break on the original index — and runs well ahead of a
+	// stable merge over an index slice, because the comparator touches
+	// adjacent pair memory instead of random key positions.
+	pairs := make([]argsortPair, len(keys))
+	for i := range pairs {
+		pairs[i] = argsortPair{k: keys[i], i: int32(i)}
+	}
+	slices.SortFunc(pairs, func(a, b argsortPair) int {
+		if a.k < b.k {
+			return -1
+		}
+		if a.k > b.k {
+			return 1
+		}
+		return int(a.i) - int(b.i)
+	})
+	idx := make([]int32, len(pairs))
+	for i := range pairs {
+		idx[i] = pairs[i].i
+	}
+	return idx
+}
+
+type argsortPair struct {
+	k float64
+	i int32
+}
+
+// argsortStableSlow is the reference stable argsort, kept for samples
+// containing NaN (where the comparator below is not a strict weak
+// order and only a stable sort pins the output).
+func argsortStableSlow(keys []float64) []int32 {
+	idx := make([]int32, len(keys))
+	for i := range idx {
+		idx[i] = int32(i)
+	}
+	slices.SortStableFunc(idx, func(a, b int32) int {
+		ka, kb := keys[a], keys[b]
+		if ka < kb {
+			return -1
+		}
+		if ka > kb {
+			return 1
+		}
+		return 0
+	})
+	return idx
 }
 
 // Merge combines repositories into one, de-duplicating by result ID
@@ -311,7 +486,7 @@ func Merge(repos ...*Repository) *Repository {
 		if rp == nil {
 			continue
 		}
-		for _, r := range rp.results {
+		for _, r := range rp.resultsSlice() {
 			if r.ID != "" && seen[r.ID] {
 				continue
 			}
@@ -319,23 +494,28 @@ func Merge(repos ...*Repository) *Repository {
 			out = append(out, r)
 		}
 	}
-	return &Repository{results: out}
+	return newRepoState(out, nil)
 }
 
 // IDs returns every result ID in repository order.
 func (rp *Repository) IDs() []string {
-	out := make([]string, len(rp.results))
-	for i, r := range rp.results {
-		out[i] = r.ID
-	}
-	return out
+	return append([]string(nil), rp.columns().ids...)
 }
 
 // FindByID returns the result with the given ID, or nil.
 func (rp *Repository) FindByID(id string) *Result {
-	for _, r := range rp.results {
-		if r.ID == id {
-			return r
+	st := rp.state.Load()
+	if st.results != nil {
+		for _, r := range st.results {
+			if r.ID == id {
+				return r
+			}
+		}
+		return nil
+	}
+	for i, v := range st.store.ids {
+		if v == id {
+			return rp.At(i)
 		}
 	}
 	return nil

@@ -67,18 +67,45 @@ func FigE2ClusterPolicies(fleet []*placement.Profile) (string, error) {
 // FigE3QuadratureAblation renders the EP-quadrature ablation: trapezoid
 // (Eq. 1 as published) versus composite Simpson over the corpus.
 func FigE3QuadratureAblation(rp *dataset.Repository) (string, error) {
-	var diffs []float64
+	cs := rp.Columns()
+	off := cs.LevelOffsets()
+	levelPower := cs.LevelPowerCol()
+	idleWatts := cs.IdleWattsCol()
+	epCol := cs.EPCol()
+	curveOK := cs.CurveOKCol()
+	ids := cs.IDCol()
+	diffs := make([]float64, 0, cs.Len())
 	maxDiff := 0.0
 	var maxID string
-	for _, r := range rp.All() {
-		c, err := r.Curve()
-		if err != nil {
-			return "", err
+	// Simpson − trapezoid straight from the level columns: the Simpson
+	// sum below is Curve.EPSimpson op for op, and the stored EP column is
+	// the trapezoid value, so each difference is bit-identical to the
+	// curve-walking ablation. Non-standard grids fall back to the
+	// trapezoid value on both sides, i.e. d = 0, as EPSimpson does.
+	for i := 0; i < cs.Len(); i++ {
+		if !curveOK[i] {
+			return "", cs.CurveErr(i)
 		}
-		d := c.EPSimpson() - c.EP()
+		lo, hi := off[i], off[i+1]
+		d := 0.0
+		if int(hi-lo)+1 == 11 {
+			peak := levelPower[hi-1]
+			sum := idleWatts[i]/peak + levelPower[hi-1]/peak
+			for k := 1; k < 10; k++ {
+				n := levelPower[lo+int32(k)-1] / peak
+				if k%2 == 1 {
+					sum += 4 * n
+				} else {
+					sum += 2 * n
+				}
+			}
+			h := 0.1
+			area := h / 3 * sum
+			d = (2 - 2*area) - epCol[i]
+		}
 		diffs = append(diffs, d)
 		if abs := absF(d); abs > maxDiff {
-			maxDiff, maxID = abs, r.ID
+			maxDiff, maxID = abs, ids[i]
 		}
 	}
 	sum, err := stats.Describe(diffs)
@@ -168,12 +195,23 @@ func FigE7KnightShift(rp *dataset.Repository) (string, error) {
 	b.WriteString("Fig.E7 (extension) KnightShift heterogeneity: EP with a low-power companion\n")
 	tw := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "primary (year)\tprimary EP\t+knight (idle primary)\t+knight (primary off)")
+	cs := rp.Columns()
+	hwYears := cs.HWYearCol()
 	for _, year := range []int{2009, 2012, 2016} {
-		servers := rp.YearRange(year, year).All()
-		if len(servers) == 0 {
+		// Only the first server of the year is plotted; scan the year
+		// column and materialize just that row.
+		first := -1
+		for i, y := range hwYears {
+			if int(y) == year {
+				first = i
+				break
+			}
+		}
+		if first < 0 {
 			continue
 		}
-		primary, err := placement.NewProfile(servers[0].ID, servers[0].MustCurve())
+		r := cs.Result(first)
+		primary, err := placement.NewProfile(r.ID, r.MustCurve())
 		if err != nil {
 			return "", err
 		}
@@ -190,7 +228,7 @@ func FigE7KnightShift(rp *dataset.Repository) (string, error) {
 			return "", err
 		}
 		fmt.Fprintf(tw, "%s (%d)\t%.3f\t%.3f\t%.3f\n",
-			servers[0].ID, year, primary.EP, warm.EP(), off.EP())
+			r.ID, year, primary.EP, warm.EP(), off.EP())
 	}
 	tw.Flush()
 	b.WriteString("a 15%-capacity companion at 10% of peak power lifts low-load proportionality most\n")

@@ -49,16 +49,21 @@ func Fig1EPCurve(r *dataset.Result) (string, error) {
 // ---- Fig. 2 ----
 
 func fig2Chart(rp *dataset.Repository) (*chart.LineChart, error) {
-	var years, eps, ees []float64
+	cs := rp.Columns()
+	hwYears := cs.HWYearCol()
+	epCol, eeCol := cs.EPCol(), cs.OverallEECol()
+	curveOK := cs.CurveOKCol()
+	years := make([]float64, 0, cs.Len())
+	eps := make([]float64, 0, cs.Len())
+	ees := make([]float64, 0, cs.Len())
 	var maxEE float64
-	for _, r := range rp.All() {
-		c, err := r.Curve()
-		if err != nil {
-			return nil, err
+	for i := 0; i < cs.Len(); i++ {
+		if !curveOK[i] {
+			return nil, cs.CurveErr(i)
 		}
-		years = append(years, float64(r.HWAvailYear))
-		eps = append(eps, c.EP())
-		ee := c.OverallEE()
+		years = append(years, float64(hwYears[i]))
+		eps = append(eps, epCol[i])
+		ee := eeCol[i]
 		ees = append(ees, ee)
 		if ee > maxEE {
 			maxEE = ee

@@ -115,14 +115,23 @@ func fullSections(rp *dataset.Repository, opts Options) []sectionFunc {
 }
 
 // recentFleet profiles up to n recent servers for the cluster
-// extension figure.
+// extension figure. The year column selects the members; only the
+// chosen rows materialize.
 func recentFleet(rp *dataset.Repository, n int) []*placement.Profile {
-	servers := rp.YearRange(2012, 2016).All()
-	if len(servers) > n {
-		servers = servers[:n]
+	cs := rp.Columns()
+	hwYears := cs.HWYearCol()
+	rows := make([]int, 0, n)
+	for i, y := range hwYears {
+		if y >= 2012 && y <= 2016 {
+			rows = append(rows, i)
+			if len(rows) == n {
+				break
+			}
+		}
 	}
-	out := make([]*placement.Profile, 0, len(servers))
-	for _, r := range servers {
+	out := make([]*placement.Profile, 0, len(rows))
+	for _, i := range rows {
+		r := cs.Result(i)
 		c, err := r.Curve()
 		if err != nil {
 			continue
@@ -136,16 +145,27 @@ func recentFleet(rp *dataset.Repository, n int) []*placement.Profile {
 	return out
 }
 
-// findSample locates the Fig. 1 sample server.
+// findSample locates the Fig. 1 sample server: the 2016 row whose
+// overall score is nearest 12212, found by scanning the year and EE
+// columns and materializing only the winner.
 func findSample(rp *dataset.Repository) *dataset.Result {
-	var best *dataset.Result
+	cs := rp.Columns()
+	hwYears := cs.HWYearCol()
+	ees := cs.OverallEECol()
+	best := -1
 	bestGap := 1e18
-	for _, r := range rp.YearRange(2016, 2016).All() {
-		if gap := absF(r.OverallEE() - 12212); gap < bestGap {
-			best, bestGap = r, gap
+	for i, y := range hwYears {
+		if y != 2016 {
+			continue
+		}
+		if gap := absF(ees[i] - 12212); gap < bestGap {
+			best, bestGap = i, gap
 		}
 	}
-	return best
+	if best < 0 {
+		return nil
+	}
+	return cs.Result(best)
 }
 
 func absF(v float64) float64 {

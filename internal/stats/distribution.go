@@ -18,7 +18,7 @@ func NewECDF(xs []float64) (*ECDF, error) {
 		return nil, ErrEmptySample
 	}
 	sorted := append([]float64(nil), xs...)
-	sort.Float64s(sorted)
+	sortFloat64s(sorted)
 	return &ECDF{sorted: sorted}, nil
 }
 

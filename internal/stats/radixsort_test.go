@@ -1,0 +1,68 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// TestSortFloat64sMatchesSortPackage pins sortFloat64s (radix fast
+// path and fallbacks alike) byte-for-byte against sort.Float64s across
+// adversarial shapes: ties, mixed signs, infinities, subnormals,
+// constant bytes (skipped radix passes), NaN, and negative zero.
+func TestSortFloat64sMatchesSortPackage(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	cases := map[string][]float64{
+		"small":     {3, 1, 2},
+		"empty":     {},
+		"singleton": {42},
+	}
+
+	mixed := make([]float64, 4096)
+	for i := range mixed {
+		mixed[i] = (rng.Float64() - 0.5) * math.Pow(10, float64(rng.Intn(40)-20))
+	}
+	mixed[17] = math.Inf(1)
+	mixed[99] = math.Inf(-1)
+	mixed[123] = math.SmallestNonzeroFloat64
+	mixed[124] = -math.SmallestNonzeroFloat64
+	cases["mixed-magnitudes"] = mixed
+
+	ties := make([]float64, 4096)
+	for i := range ties {
+		ties[i] = float64(rng.Intn(8))
+	}
+	cases["heavy-ties"] = ties
+
+	narrow := make([]float64, 4096)
+	for i := range narrow {
+		narrow[i] = 1 + rng.Float64()/1024 // shared sign/exponent bytes
+	}
+	cases["narrow-range"] = narrow
+
+	withNaN := append([]float64(nil), mixed...)
+	withNaN[5] = math.NaN()
+	cases["nan-fallback"] = withNaN
+
+	negZero := append([]float64(nil), ties...)
+	negZero[9] = math.Copysign(0, -1)
+	cases["negzero-fallback"] = negZero
+
+	for name, in := range cases {
+		got := append([]float64(nil), in...)
+		want := append([]float64(nil), in...)
+		sortFloat64s(got)
+		sort.Float64s(want)
+		if len(got) != len(want) {
+			t.Fatalf("%s: length changed", name)
+		}
+		for i := range got {
+			if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+				t.Errorf("%s[%d]: %v (%#x) != %v (%#x)", name, i,
+					got[i], math.Float64bits(got[i]), want[i], math.Float64bits(want[i]))
+				break
+			}
+		}
+	}
+}

@@ -2,7 +2,6 @@ package stats
 
 import (
 	"errors"
-	"sort"
 )
 
 // TheilSenFit is a robust line fit: the slope is the median of all
@@ -20,9 +19,26 @@ func (f TheilSenFit) Predict(x float64) float64 {
 	return f.Intercept + f.Slope*x
 }
 
+// theilSenExactLimit is the sample size above which TheilSen switches
+// from the exact all-pairs estimator (O(n²) slopes — about 2M at the
+// limit) to the randomized-pairs estimator. Corpus-scale inputs (a few
+// hundred servers) stay exact; fleet-scale inputs (10⁵-10⁶ servers,
+// where all-pairs would be 10¹⁰⁺ slopes) estimate the slope median over
+// a fixed-size deterministic pair sample.
+const theilSenExactLimit = 2048
+
+// theilSenSamplePairs is the number of random pairs the large-n
+// estimator draws. The median of ~half a million sampled slopes is
+// statistically indistinguishable from the exact pairwise median for
+// the trend fits this package serves.
+const theilSenSamplePairs = 1 << 19
+
 // TheilSen fits y = a + b·x with the Theil-Sen estimator: b is the
 // median of slopes over all point pairs with distinct x, and a is the
-// median of y − b·x.
+// median of y − b·x. Above theilSenExactLimit points the slope median
+// is estimated over a deterministic random sample of pairs (fixed
+// xorshift seed, no global RNG), so fleet-scale fits stay O(n + K log K)
+// and reproducible.
 func TheilSen(xs, ys []float64) (TheilSenFit, error) {
 	if len(xs) != len(ys) {
 		return TheilSenFit{}, ErrLengthMismatch
@@ -30,18 +46,40 @@ func TheilSen(xs, ys []float64) (TheilSenFit, error) {
 	if len(xs) < 2 {
 		return TheilSenFit{}, ErrEmptySample
 	}
-	slopes := make([]float64, 0, len(xs)*(len(xs)-1)/2)
-	for i := 0; i < len(xs); i++ {
-		for j := i + 1; j < len(xs); j++ {
+	var slopes []float64
+	if n := len(xs); n > theilSenExactLimit {
+		slopes = make([]float64, 0, theilSenSamplePairs)
+		rng := uint64(0x9E3779B97F4A7C15)
+		next := func() uint64 {
+			rng ^= rng << 13
+			rng ^= rng >> 7
+			rng ^= rng << 17
+			return rng
+		}
+		for k := 0; k < theilSenSamplePairs; k++ {
+			i := int(next() % uint64(n))
+			j := int(next() % uint64(n))
+			if i == j {
+				continue
+			}
 			if dx := xs[j] - xs[i]; dx != 0 {
 				slopes = append(slopes, (ys[j]-ys[i])/dx)
+			}
+		}
+	} else {
+		slopes = make([]float64, 0, n*(n-1)/2)
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if dx := xs[j] - xs[i]; dx != 0 {
+					slopes = append(slopes, (ys[j]-ys[i])/dx)
+				}
 			}
 		}
 	}
 	if len(slopes) == 0 {
 		return TheilSenFit{}, errors.New("stats: degenerate regressor (zero variance)")
 	}
-	sort.Float64s(slopes)
+	sortFloat64s(slopes)
 	slope := slopes[len(slopes)/2]
 	if len(slopes)%2 == 0 {
 		slope = (slopes[len(slopes)/2-1] + slopes[len(slopes)/2]) / 2

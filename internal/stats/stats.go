@@ -11,7 +11,6 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"sort"
 )
 
 // ErrEmptySample is returned when a computation requires at least one
@@ -116,11 +115,21 @@ func Quantile(xs []float64, q float64) (float64, error) {
 	if len(xs) == 0 {
 		return 0, ErrEmptySample
 	}
+	sorted := append([]float64(nil), xs...)
+	sortFloat64s(sorted)
+	return quantileSorted(sorted, q)
+}
+
+// quantileSorted is Quantile on an already ascending-sorted sample —
+// the allocation-free path Describe uses to read several quantiles off
+// one sorted copy.
+func quantileSorted(sorted []float64, q float64) (float64, error) {
+	if len(sorted) == 0 {
+		return 0, ErrEmptySample
+	}
 	if q < 0 || q > 1 {
 		return 0, fmt.Errorf("stats: quantile %v outside [0, 1]", q)
 	}
-	sorted := append([]float64(nil), xs...)
-	sort.Float64s(sorted)
 	if len(sorted) == 1 {
 		return sorted[0], nil
 	}
@@ -152,9 +161,9 @@ func Describe(xs []float64) (Summary, error) {
 		return Summary{}, ErrEmptySample
 	}
 	sorted := append([]float64(nil), xs...)
-	sort.Float64s(sorted)
+	sortFloat64s(sorted)
 	q := func(p float64) float64 {
-		v, _ := Quantile(sorted, p)
+		v, _ := quantileSorted(sorted, p)
 		return v
 	}
 	mean := Sum(sorted) / float64(len(sorted))

@@ -78,6 +78,85 @@ func GenerateFleet(cfg FleetConfig) ([]*dataset.Result, error) {
 	return out, nil
 }
 
+// generateShardStore materializes shard s straight into a column
+// store: each sampled result is appended to the shard's builder and
+// then dropped, so the per-shard footprint is one builder plus one
+// transient Result.
+func generateShardStore(cfg FleetConfig, s int) (*dataset.ColumnStore, error) {
+	base := s * fleetShardSize
+	count := cfg.Servers - base
+	if count > fleetShardSize {
+		count = fleetShardSize
+	}
+	g := &generator{rng: rand.New(rand.NewSource(cfg.Seed + int64(s+1)*fleetShardSeedStep))}
+	b := dataset.NewColumnBuilder(count, count*10, false)
+	for i := 0; i < count; i++ {
+		r, err := g.fleetResult()
+		if err != nil {
+			return nil, err
+		}
+		r.ID = fmt.Sprintf("fleet-%07d", base+i)
+		b.Append(r)
+	}
+	return b.Store(), nil
+}
+
+// GenerateFleetStore produces the same fleet as GenerateFleet — same
+// seed, same shard streams, same IDs — directly as a column store,
+// without ever holding the fleet as result structs. Derived metric
+// columns build lazily on first analysis access.
+func GenerateFleetStore(cfg FleetConfig) (*dataset.ColumnStore, error) {
+	if cfg.Servers <= 0 {
+		return nil, fmt.Errorf("synth: fleet size %d must be positive", cfg.Servers)
+	}
+	shards := (cfg.Servers + fleetShardSize - 1) / fleetShardSize
+	stores, err := par.MapErr(shards, func(s int) (*dataset.ColumnStore, error) {
+		return generateShardStore(cfg, s)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return dataset.ConcatColumns(stores), nil
+}
+
+// fleetStreamBatch is how many shards GenerateFleetShards materializes
+// concurrently between deliveries: large enough to keep every worker
+// busy, small enough that the in-flight window stays a few thousand
+// rows regardless of fleet size.
+const fleetStreamBatch = 8
+
+// GenerateFleetShards generates the fleet and hands each shard's
+// column store to fn in shard order, then drops it — the streaming
+// form of GenerateFleetStore for writing million-server corpora to
+// disk in bounded memory. Shards are sampled from the same per-shard
+// RNG streams as GenerateFleet, so the concatenation of the delivered
+// shards is exactly the GenerateFleet output. fn runs serially; an
+// error from fn or the generator aborts the stream.
+func GenerateFleetShards(cfg FleetConfig, fn func(shard int, cs *dataset.ColumnStore) error) error {
+	if cfg.Servers <= 0 {
+		return fmt.Errorf("synth: fleet size %d must be positive", cfg.Servers)
+	}
+	shards := (cfg.Servers + fleetShardSize - 1) / fleetShardSize
+	for lo := 0; lo < shards; lo += fleetStreamBatch {
+		hi := lo + fleetStreamBatch
+		if hi > shards {
+			hi = shards
+		}
+		stores, err := par.MapErr(hi-lo, func(i int) (*dataset.ColumnStore, error) {
+			return generateShardStore(cfg, lo+i)
+		})
+		if err != nil {
+			return err
+		}
+		for i, cs := range stores {
+			if err := fn(lo+i, cs); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
 // fleetResult samples one server: blueprint from the plan tables, then
 // the standard draw/materialize pipeline. The curve solver can reject
 // an (EP target, peak spot) pair as non-monotone; fleets resample the

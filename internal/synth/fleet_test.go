@@ -120,3 +120,65 @@ func TestGenerateFleetShape(t *testing.T) {
 		t.Errorf("2012 share %.2f, want ≈ 0.27", frac)
 	}
 }
+
+// TestGenerateFleetStoreMatchesGenerateFleet pins the columnar
+// generator to the result generator: same seed, same servers, same
+// bytes — the store's lazy views materialize to the identical fleet.
+func TestGenerateFleetStoreMatchesGenerateFleet(t *testing.T) {
+	cfg := FleetConfig{Seed: 7, Servers: 2500}
+	want, err := GenerateFleet(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, err := GenerateFleetStore(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.Len() != cfg.Servers {
+		t.Fatalf("store has %d rows, want %d", cs.Len(), cfg.Servers)
+	}
+	if !bytes.Equal(fleetCSV(t, cs.Materialize()), fleetCSV(t, want)) {
+		t.Error("GenerateFleetStore differs from GenerateFleet")
+	}
+	if _, err := GenerateFleetStore(FleetConfig{Seed: 1, Servers: 0}); err == nil {
+		t.Error("fleet store size 0 accepted")
+	}
+}
+
+// TestGenerateFleetShardsStreams checks the streaming generator
+// delivers every shard exactly once, in order, and that the shard
+// concatenation equals the one-shot store.
+func TestGenerateFleetShardsStreams(t *testing.T) {
+	cfg := FleetConfig{Seed: 7, Servers: 2500}
+	want, err := GenerateFleetStore(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stores []*dataset.ColumnStore
+	next := 0
+	err = GenerateFleetShards(cfg, func(shard int, cs *dataset.ColumnStore) error {
+		if shard != next {
+			t.Fatalf("shard %d delivered, want %d", shard, next)
+		}
+		next++
+		stores = append(stores, cs)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, cs := range stores {
+		total += cs.Len()
+	}
+	if total != cfg.Servers {
+		t.Fatalf("shards deliver %d rows, want %d", total, cfg.Servers)
+	}
+	got := dataset.ConcatColumns(stores)
+	if !bytes.Equal(fleetCSV(t, got.Materialize()), fleetCSV(t, want.Materialize())) {
+		t.Error("streamed shards differ from GenerateFleetStore")
+	}
+	if _, last := stores[0], stores[len(stores)-1]; stores[0].Len() != 1024 || last.Len() != cfg.Servers%1024 {
+		t.Errorf("shard sizes %d/%d, want 1024/%d", stores[0].Len(), last.Len(), cfg.Servers%1024)
+	}
+}
