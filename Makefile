@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build vet test race bench fleetbench colbench report report-html verify calibrate fuzz serve selftest examples clean
+.PHONY: all check build vet test race bench fleetbench colbench simbench report report-html verify calibrate fuzz serve selftest examples clean
 
 all: check
 
@@ -40,6 +40,13 @@ fleetbench:
 # when refreshing BENCH_columnar.json.
 colbench:
 	$(GO) test -run '^$$' -bench 'BenchmarkColumnar.*(10k|100k)$$' -benchtime 1x -timeout 20m .
+
+# Fleet-simulator smoke: one iteration of the incremental/naive
+# benchmarks, including the 100k-server × 1-minute-week perf target
+# (BenchmarkFleetSimIncremental100kWeek must stay ≤ 5 s per op; see
+# BENCH_fleetsim.json for the recorded before/after matrix).
+simbench:
+	$(GO) test -run '^$$' -bench 'BenchmarkFleetSim' -benchtime 1x ./internal/fleetsim
 
 # The full evaluation section as text / standalone HTML.
 report:

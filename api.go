@@ -8,6 +8,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/fleetsim"
 	"repro/internal/par"
 	"repro/internal/placement"
 	"repro/internal/power"
@@ -402,6 +403,7 @@ func ClusterScalingStudy(prototype *PlacementProfile, sizes []int, policy Cluste
 type (
 	Trace         = trace.Trace
 	DiurnalConfig = trace.DiurnalConfig
+	BurstyConfig  = trace.BurstyConfig
 	TraceStrategy = trace.Strategy
 	ReplayResult  = trace.ReplayResult
 )
@@ -416,6 +418,16 @@ const (
 // DiurnalTrace synthesizes a day/night demand pattern.
 func DiurnalTrace(cfg DiurnalConfig) (*Trace, error) { return trace.Diurnal(cfg) }
 
+// BurstyTrace synthesizes a flash-crowd demand pattern: Poisson burst
+// arrivals with exponential decay over a flat base load.
+func BurstyTrace(cfg BurstyConfig) (*Trace, error) { return trace.Bursty(cfg) }
+
+// ReadTraceCSV parses a demand trace from CSV (one demand column, or
+// time,demand pairs; optional header) at the given sampling period.
+func ReadTraceCSV(r io.Reader, stepSeconds float64) (*Trace, error) {
+	return trace.ReadCSV(r, stepSeconds)
+}
+
 // ReplayTrace accounts a fleet's energy over a trace under one
 // placement strategy.
 func ReplayTrace(tr *Trace, fleet []*PlacementProfile, s TraceStrategy, opts PlacementOptions) (ReplayResult, error) {
@@ -426,6 +438,31 @@ func ReplayTrace(tr *Trace, fleet []*PlacementProfile, s TraceStrategy, opts Pla
 func CompareTraceStrategies(tr *Trace, fleet []*PlacementProfile, opts PlacementOptions) ([]ReplayResult, error) {
 	return trace.CompareStrategies(tr, fleet, opts)
 }
+
+// Streaming fleet simulation (internal/fleetsim): a time-stepped
+// replay of a demand trace against a composed fleet with online
+// power management (on/off transitions, hysteresis) and incremental
+// per-step cluster state — O(log n) per step instead of an O(n)
+// recompose.
+type (
+	FleetSimConfig  = fleetsim.Config
+	FleetSimPower   = fleetsim.PowerConfig
+	FleetSimLatency = fleetsim.LatencyConfig
+	FleetSimStep    = fleetsim.StepStats
+	FleetSimResult  = fleetsim.Result
+	FleetSimStepper = fleetsim.Stepper
+)
+
+// SimulateFleet replays cfg.Trace against cfg.Members. Trace segments
+// shard across CPUs and stitch deterministically: the result (and
+// every StepStats emitted through cfg.Sink, in step order) is
+// byte-identical at any worker count.
+func SimulateFleet(cfg FleetSimConfig) (FleetSimResult, error) { return fleetsim.Run(cfg) }
+
+// NewFleetStepper builds the incremental simulator core directly for
+// callers that want to drive steps themselves (live dashboards, custom
+// accounting); feed it trace demands in order via Step.
+func NewFleetStepper(cfg FleetSimConfig) (*FleetSimStepper, error) { return fleetsim.NewStepper(cfg) }
 
 // Transaction-level workload simulation (internal/workload).
 type (

@@ -1,0 +1,122 @@
+package main
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestCSVDigestWorkerInvariant is the golden worker-invariance check:
+// the full per-step CSV stream must be byte-identical at workers 1, 2,
+// and 8 — the trace segments stitch deterministically no matter how
+// they were scheduled. Latency sampling stays off here (its worker
+// invariance is pinned by fleetsim's stitching test on small servers);
+// at synthetic-fleet capacities the transaction-level sampler would
+// dominate the test's runtime.
+func TestCSVDigestWorkerInvariant(t *testing.T) {
+	var first string
+	for _, workers := range []string{"1", "2", "8"} {
+		var out, errBuf bytes.Buffer
+		err := run([]string{
+			"-servers", "64", "-duration", "2", "-step", "300",
+			"-format", "csv", "-workers", workers,
+		}, &out, &errBuf)
+		if err != nil {
+			t.Fatalf("workers=%s: %v", workers, err)
+		}
+		sum := sha256.Sum256(out.Bytes())
+		digest := hex.EncodeToString(sum[:])
+		if first == "" {
+			first = digest
+			if lines := strings.Count(out.String(), "\n"); lines != 1+576 {
+				t.Fatalf("csv lines = %d, want header + 576 steps", lines)
+			}
+		} else if digest != first {
+			t.Fatalf("workers=%s digest %s != workers=1 digest %s", workers, digest, first)
+		}
+	}
+}
+
+func TestTextSummary(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	err := run([]string{"-servers", "100", "-duration", "1", "-step", "300"}, &out, &errBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"policy", "pack+off", "energy", "active", "transitions"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("summary missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestJSONSummary(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	err := run([]string{
+		"-servers", "100", "-duration", "1", "-step", "300",
+		"-trace", "bursty", "-policy", "pack", "-format", "json",
+	}, &out, &errBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res struct {
+		Policy    string  `json:"Policy"`
+		Servers   int     `json:"Servers"`
+		Steps     int     `json:"Steps"`
+		EnergyKWh float64 `json:"EnergyKWh"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &res); err != nil {
+		t.Fatalf("bad json: %v\n%s", err, out.String())
+	}
+	if res.Policy != "pack" || res.Servers != 100 || res.Steps != 288 || res.EnergyKWh <= 0 {
+		t.Fatalf("unexpected summary %+v", res)
+	}
+}
+
+func TestCSVTraceFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "demand.csv")
+	data := "time_s,demand_ops\n0,1e6\n300,2e6\n600,0\n900,5e7\n"
+	if err := os.WriteFile(path, []byte(data), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errBuf bytes.Buffer
+	err := run([]string{"-servers", "50", "-trace", path, "-step", "300", "-format", "csv"}, &out, &errBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(out.String(), "\n"); lines != 1+4 {
+		t.Fatalf("csv lines = %d, want header + 4 steps", lines)
+	}
+}
+
+func TestBadArgs(t *testing.T) {
+	cases := [][]string{
+		{"-policy", "nonsense"},
+		{"-format", "pdf"},
+		{"-trace", "/nope/missing.csv"},
+		{"-duration", "0"},
+		{"-servers", "0"},
+	}
+	for _, args := range cases {
+		var out, errBuf bytes.Buffer
+		if err := run(args, &out, &errBuf); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}
+
+func TestVersionFlag(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-version"}, &out, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "specsim") {
+		t.Errorf("version output %q", out.String())
+	}
+}

@@ -132,15 +132,9 @@ const gridSteps = 100
 // point depends only on the precomputed fleet arrays and its own demand
 // value, so the output is identical at any worker count.
 func Compose(members []*placement.Profile, policy Policy) (Aggregate, error) {
-	if len(members) == 0 {
-		return Aggregate{}, errors.New("cluster: no members")
-	}
-	ev, err := newEvaluator(members, policy)
+	ev, err := NewEvaluator(members, policy)
 	if err != nil {
 		return Aggregate{}, err
-	}
-	if ev.capacity <= 0 {
-		return Aggregate{}, errors.New("cluster: zero capacity")
 	}
 	agg := Aggregate{
 		Utilizations: make([]float64, gridSteps+1),
@@ -150,17 +144,17 @@ func Compose(members []*placement.Profile, policy Policy) (Aggregate, error) {
 	}
 	chunks := par.Chunks(gridSteps + 1)
 	par.ForEach(len(chunks), func(ci int) {
-		sc := ev.newScratch()
+		sc := ev.NewScratch()
 		for g := chunks[ci].Lo; g < chunks[ci].Hi; g++ {
 			u := float64(g) / gridSteps
 			agg.Utilizations[g] = u
-			agg.PowerWatts[g] = ev.powerAt(ev.capacity*u, sc)
+			agg.PowerWatts[g] = ev.PowerAt(ev.capacity*u, sc)
 		}
 	})
 	return agg, nil
 }
 
-// evaluator holds the per-fleet state precomputed once per Compose so
+// Evaluator holds the per-fleet state precomputed once per fleet so
 // each demand point evaluates without sorting, allocating, or scanning
 // more members than necessary:
 //
@@ -172,7 +166,13 @@ func Compose(members []*placement.Profile, policy Policy) (Aggregate, error) {
 //   - OptimalRegion: the fleet is sorted into engage order once; each
 //     point runs placement.ProportionalFill on a reusable scratch slice
 //     instead of re-sorting and re-allocating a full Plan.
-type evaluator struct {
+//
+// Compose builds one per call; internal/fleetsim builds one per
+// simulation and reuses it across every time step, which is what makes
+// an incremental step O(log n) instead of the O(n) full recompose. An
+// Evaluator is immutable after construction and safe for concurrent
+// use; the mutable per-worker state lives in Scratch.
+type Evaluator struct {
 	policy   Policy
 	members  []*placement.Profile
 	capacity float64
@@ -188,14 +188,32 @@ type evaluator struct {
 	order []*placement.Profile
 }
 
-// scratch is the per-worker mutable state for one grid chunk.
-type scratch struct {
+// Scratch is the per-worker mutable state for one grid chunk or one
+// simulation stepper; it must not be shared between goroutines.
+type Scratch struct {
 	util []float64
 }
 
-func newEvaluator(members []*placement.Profile, policy Policy) (*evaluator, error) {
+// NewEvaluator validates the members and precomputes the policy's
+// fleet arrays. It fails on an empty fleet, a zero-capacity fleet, or
+// an unknown policy — the same validation Compose applies.
+func NewEvaluator(members []*placement.Profile, policy Policy) (*Evaluator, error) {
+	if len(members) == 0 {
+		return nil, errors.New("cluster: no members")
+	}
+	ev, err := newEvaluator(members, policy)
+	if err != nil {
+		return nil, err
+	}
+	if ev.capacity <= 0 {
+		return nil, errors.New("cluster: zero capacity")
+	}
+	return ev, nil
+}
+
+func newEvaluator(members []*placement.Profile, policy Policy) (*Evaluator, error) {
 	n := len(members)
-	ev := &evaluator{policy: policy, members: members}
+	ev := &Evaluator{policy: policy, members: members}
 	switch policy {
 	case PolicySpread:
 		for _, m := range members {
@@ -230,18 +248,32 @@ func newEvaluator(members []*placement.Profile, policy Policy) (*evaluator, erro
 	return ev, nil
 }
 
-// newScratch allocates the mutable state one worker needs; each grid
-// chunk gets its own so shards never share writable slices.
-func (ev *evaluator) newScratch() *scratch {
+// NewScratch allocates the mutable state one worker needs; each grid
+// chunk or simulation stepper gets its own so shards never share
+// writable slices.
+func (ev *Evaluator) NewScratch() *Scratch {
 	if ev.policy == PolicyOptimalRegion {
-		return &scratch{util: make([]float64, len(ev.order))}
+		return &Scratch{util: make([]float64, len(ev.order))}
 	}
-	return &scratch{}
+	return &Scratch{}
 }
 
-// powerAt computes the cluster's power when serving demandOps. The
+// Policy returns the policy the evaluator was built for.
+func (ev *Evaluator) Policy() Policy { return ev.policy }
+
+// Len returns the number of members.
+func (ev *Evaluator) Len() int { return len(ev.members) }
+
+// Capacity returns the fleet's total throughput at full load.
+func (ev *Evaluator) Capacity() float64 { return ev.capacity }
+
+// PowerAt computes the cluster's power when serving demandOps. The
 // policy was validated at evaluator construction, so it cannot fail.
-func (ev *evaluator) powerAt(demandOps float64, sc *scratch) float64 {
+// Demand at or below zero draws the policy's idle power; demand beyond
+// the fleet capacity saturates deterministically at the full-load draw
+// (every member at 100%, or at its utilization cap for
+// PolicyOptimalRegion, which honors caps by construction).
+func (ev *Evaluator) PowerAt(demandOps float64, sc *Scratch) float64 {
 	switch ev.policy {
 	case PolicySpread:
 		u := math.Min(1, demandOps/ev.capacity)
@@ -284,6 +316,114 @@ func (ev *evaluator) powerAt(demandOps float64, sc *scratch) float64 {
 		return 0
 	}
 }
+
+// The pack-order accessors below expose the prefix-sum/active-set state
+// the incremental fleet simulator steps on. They are defined for the
+// pack policies (PolicyPack, PolicyPackPowerOff), whose members have a
+// fixed engagement order; the other policies have no pack order and the
+// accessors degenerate to whole-fleet answers.
+
+// MinServers returns the smallest k such that the first k members (in
+// member order) have the capacity to serve demandOps: 0 for demand at
+// or below zero, and Len() — deterministic saturation, never a panic —
+// when demand exceeds the fleet capacity. Pack-policy evaluators answer
+// in O(log n) on the capacity prefix sums; other policies engage the
+// whole fleet for any positive demand.
+func (ev *Evaluator) MinServers(demandOps float64) int {
+	if demandOps <= 0 {
+		return 0
+	}
+	if ev.cumOps == nil {
+		return len(ev.members)
+	}
+	if k := sort.SearchFloat64s(ev.cumOps, demandOps); k <= len(ev.members) {
+		return k
+	}
+	return len(ev.members)
+}
+
+// PrefixCapacity returns the combined capacity of the first k members,
+// cumOps[k]; k clamps to [0, Len()]. Pack policies only; other
+// evaluators return the whole-fleet capacity for any positive k.
+func (ev *Evaluator) PrefixCapacity(k int) float64 {
+	if k <= 0 {
+		return 0
+	}
+	if ev.cumOps == nil {
+		return ev.capacity
+	}
+	if k > len(ev.members) {
+		k = len(ev.members)
+	}
+	return ev.cumOps[k]
+}
+
+// PrefixPeakWatts returns the combined full-load power of the first k
+// members, cumPeakW[k]; k clamps to [0, Len()]. The simulator prices a
+// span of power-on transitions as a difference of two of these. Pack
+// policies only; other evaluators return 0.
+func (ev *Evaluator) PrefixPeakWatts(k int) float64 {
+	if ev.cumPeakW == nil || k <= 0 {
+		return 0
+	}
+	if k > len(ev.members) {
+		k = len(ev.members)
+	}
+	return ev.cumPeakW[k]
+}
+
+// SuffixIdleWatts returns the combined active-idle power of members
+// k.. (sufIdleW[k]); k clamps to [0, Len()]. A span's idle draw — the
+// cost of servers a hysteresis policy keeps warm — is a difference of
+// two of these. Pack policies only; other evaluators return 0.
+func (ev *Evaluator) SuffixIdleWatts(k int) float64 {
+	if ev.sufIdleW == nil {
+		return 0
+	}
+	if k < 0 {
+		k = 0
+	}
+	if k > len(ev.members) {
+		k = len(ev.members)
+	}
+	return ev.sufIdleW[k]
+}
+
+// ActivePower returns the fleet's power draw when exactly the first
+// active members are powered on and demandOps packs across them left
+// to right: members fill to 100% in order, the marginal member takes
+// the remainder, and powered-on members beyond the demand draw active
+// idle power — they are on (a simulator's hysteresis keeps them warm),
+// unlike Compose's PolicyPackPowerOff curve where unengaged members are
+// off. Demand beyond the active capacity saturates deterministically:
+// every active member runs at full load and the excess goes unserved.
+// active clamps to [0, Len()]; zero active draws nothing. Pack-policy
+// evaluators only — ActivePower panics otherwise.
+func (ev *Evaluator) ActivePower(demandOps float64, active int) float64 {
+	if ev.cumOps == nil {
+		panic("cluster: ActivePower requires a pack-policy evaluator")
+	}
+	if active > len(ev.members) {
+		active = len(ev.members)
+	}
+	if active <= 0 {
+		return 0
+	}
+	if demandOps <= 0 {
+		return ev.sufIdleW[0] - ev.sufIdleW[active]
+	}
+	k := sort.SearchFloat64s(ev.cumOps[:active+1], demandOps)
+	if k > active {
+		// Saturated: every active member at full load.
+		return ev.cumPeakW[active]
+	}
+	last := ev.members[k-1]
+	return ev.cumPeakW[k-1] + last.PowerAt((demandOps-ev.cumOps[k-1])/last.MaxOps) +
+		(ev.sufIdleW[k] - ev.sufIdleW[active])
+}
+
+// Member returns the i'th member in pack order.
+func (ev *Evaluator) Member(i int) *placement.Profile { return ev.members[i] }
 
 // Comparison evaluates every policy over the same members.
 type Comparison struct {

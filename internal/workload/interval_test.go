@@ -1,0 +1,90 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+// TestIntervalMatchesSimulate pins the zero-alloc path to the map path:
+// same config, same numbers, with the array tallies agreeing with the
+// map tallies — across rates (idle, partial, closed-loop), reused and
+// fresh Sims, default and custom mixes.
+func TestIntervalMatchesSimulate(t *testing.T) {
+	configs := []Config{
+		{Seed: 1, CapacityOpsPerSec: 1000, TargetRate: 600, DurationSeconds: 30},
+		{Seed: 2, CapacityOpsPerSec: 1000, TargetRate: 0, DurationSeconds: 30},
+		{Seed: 3, CapacityOpsPerSec: 500, TargetRate: math.Inf(1), DurationSeconds: 10},
+		{Seed: 4, CapacityOpsPerSec: 2000, TargetRate: 1900, DurationSeconds: 20,
+			Mix: Mix{NewOrder: 2, Payment: 1}},
+	}
+	sim := NewSim()
+	for _, cfg := range configs {
+		want, err := Simulate(cfg) // fresh Sim, map path
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := sim.Interval(cfg) // reused Sim, array path
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.OfferedTx != want.OfferedTx || got.CompletedTx != want.CompletedTx ||
+			got.OpsPerSec != want.OpsPerSec || got.BusyFraction != want.BusyFraction ||
+			got.LatencyP50 != want.LatencyP50 || got.LatencyP95 != want.LatencyP95 ||
+			got.LatencyP99 != want.LatencyP99 || got.MeanLatency != want.MeanLatency {
+			t.Fatalf("cfg %+v:\n  interval %+v\n  simulate %+v", cfg, got, want)
+		}
+		for tx, n := range got.TxCounts {
+			if n != want.TxCounts[TxType(tx)] {
+				t.Fatalf("cfg %+v: tx %v count %v != %v", cfg, TxType(tx), n, want.TxCounts[TxType(tx)])
+			}
+		}
+		var mapTotal float64
+		for _, n := range want.TxCounts {
+			mapTotal += n
+		}
+		var arrTotal float64
+		for _, n := range got.TxCounts {
+			arrTotal += n
+		}
+		if mapTotal != arrTotal {
+			t.Fatalf("cfg %+v: tallies diverge %v != %v", cfg, arrTotal, mapTotal)
+		}
+	}
+}
+
+// TestIntervalZeroAllocSteadyState asserts the satellite contract: a
+// reused Sim running default-mix intervals allocates nothing once warm.
+func TestIntervalZeroAllocSteadyState(t *testing.T) {
+	sim := NewSim()
+	cfg := Config{Seed: 7, CapacityOpsPerSec: 1000, TargetRate: 700, DurationSeconds: 15}
+	if _, err := sim.Interval(cfg); err != nil { // warm up buffers
+		t.Fatal(err)
+	}
+	avg := testing.AllocsPerRun(100, func() {
+		cfg.Seed++
+		if _, err := sim.Interval(cfg); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("steady-state Interval allocates %v per call, want 0", avg)
+	}
+}
+
+// BenchmarkSimInterval is the benchmark-asserted form of the same
+// contract (run with -benchmem or ReportAllocs to see 0 allocs/op).
+func BenchmarkSimInterval(b *testing.B) {
+	sim := NewSim()
+	cfg := Config{Seed: 7, CapacityOpsPerSec: 1000, TargetRate: 700, DurationSeconds: 15}
+	if _, err := sim.Interval(cfg); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i)
+		if _, err := sim.Interval(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

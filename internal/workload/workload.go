@@ -173,13 +173,22 @@ type Metrics struct {
 }
 
 // Sim carries reusable simulation scratch — the latency reservoir's
-// sample and sorted buffers and the cumulative-mix table — so a caller
-// running many intervals (internal/bench runs 13+ per benchmark pass)
-// pays the buffer allocations once instead of per interval. A Sim is
-// not safe for concurrent use; give each goroutine its own.
+// sample and sorted buffers, the cumulative-mix table, and the
+// reseedable random source — so a caller running many intervals
+// (internal/bench runs 13+ per benchmark pass; internal/fleetsim runs
+// one per latency sample) pays the buffer allocations once instead of
+// per interval. A Sim is not safe for concurrent use; give each
+// goroutine its own.
 type Sim struct {
 	res reservoir
 	cum []float64
+	rng *rand.Rand
+	// Cached default-mix tables: the cumulative sampling distribution
+	// and mean work units, built on the first nil-Mix interval so the
+	// steady-state path never touches the Mix map.
+	defCum      [len(allTxTypes)]float64
+	defMeanWork float64
+	defReady    bool
 }
 
 // NewSim returns an empty scratch holder; buffers grow on first use.
@@ -196,24 +205,107 @@ func Simulate(cfg Config) (Metrics, error) {
 
 // Simulate runs one measurement interval, reusing the Sim's scratch
 // buffers. Identical configurations produce identical metrics whether
-// the Sim is fresh or reused.
+// the Sim is fresh or reused. It wraps Interval, converting the
+// fixed-array tallies to the map form; loops that cannot afford the
+// map allocation should call Interval directly.
 func (s *Sim) Simulate(cfg Config) (Metrics, error) {
-	if cfg.CapacityOpsPerSec <= 0 {
-		return Metrics{}, fmt.Errorf("workload: capacity %v", cfg.CapacityOpsPerSec)
-	}
-	if cfg.DurationSeconds <= 0 {
-		return Metrics{}, fmt.Errorf("workload: duration %v", cfg.DurationSeconds)
-	}
-	if cfg.TargetRate < 0 {
-		return Metrics{}, fmt.Errorf("workload: target rate %v", cfg.TargetRate)
-	}
-	mix := cfg.Mix
-	if mix == nil {
-		mix = DefaultMix()
-	}
-	mix, err := mix.normalize()
+	im, err := s.Interval(cfg)
 	if err != nil {
 		return Metrics{}, err
+	}
+	m := Metrics{
+		OfferedTx:    im.OfferedTx,
+		CompletedTx:  im.CompletedTx,
+		OpsPerSec:    im.OpsPerSec,
+		BusyFraction: im.BusyFraction,
+		LatencyP50:   im.LatencyP50,
+		LatencyP95:   im.LatencyP95,
+		LatencyP99:   im.LatencyP99,
+		MeanLatency:  im.MeanLatency,
+		TxCounts:     make(map[TxType]float64, len(allTxTypes)),
+	}
+	for tx, n := range im.TxCounts {
+		if n > 0 {
+			m.TxCounts[TxType(tx)] = n
+		}
+	}
+	return m, nil
+}
+
+// IntervalMetrics is the outcome of one interval in allocation-free
+// form: the per-type tally is a fixed array indexed by TxType value
+// (index 0 unused) instead of a map. internal/fleetsim's latency
+// sampling uses this so the simulator inner loop stays off the heap.
+type IntervalMetrics struct {
+	// OfferedTx and CompletedTx count transactions.
+	OfferedTx, CompletedTx float64
+	// OpsPerSec is achieved throughput in transactions per second.
+	OpsPerSec float64
+	// BusyFraction is the share of the interval the server spent
+	// processing.
+	BusyFraction float64
+	// Latency percentiles over batch response times, in seconds.
+	LatencyP50, LatencyP95, LatencyP99 float64
+	// MeanLatency in seconds.
+	MeanLatency float64
+	// TxCounts is the per-type completion tally, indexed by TxType.
+	TxCounts [len(allTxTypes) + 1]float64
+}
+
+// Interval runs one measurement interval, reusing every piece of the
+// Sim's scratch: the latency reservoir, the cumulative-mix table, and
+// the reseeded random source. With a nil Mix it performs zero heap
+// allocations in steady state (after the first call has sized the
+// buffers for the configuration); a custom Mix pays the map
+// normalization per call. Results are identical to Simulate's for the
+// same Config, fresh Sim or reused.
+func (s *Sim) Interval(cfg Config) (IntervalMetrics, error) {
+	var m IntervalMetrics
+	if cfg.CapacityOpsPerSec <= 0 {
+		return m, fmt.Errorf("workload: capacity %v", cfg.CapacityOpsPerSec)
+	}
+	if cfg.DurationSeconds <= 0 {
+		return m, fmt.Errorf("workload: duration %v", cfg.DurationSeconds)
+	}
+	if cfg.TargetRate < 0 {
+		return m, fmt.Errorf("workload: target rate %v", cfg.TargetRate)
+	}
+	// Cumulative mix table for sampling batch composition and the
+	// mix's mean work units. The default mix is cached in the Sim; a
+	// custom mix is normalized into the reusable scratch slice.
+	var cum []float64
+	var meanWork float64
+	if cfg.Mix == nil {
+		if !s.defReady {
+			mix, err := DefaultMix().normalize()
+			if err != nil {
+				return m, err
+			}
+			var acc float64
+			for i, tx := range allTxTypes {
+				acc += mix[tx]
+				s.defCum[i] = acc
+			}
+			s.defMeanWork = mix.MeanWorkUnits()
+			s.defReady = true
+		}
+		cum = s.defCum[:]
+		meanWork = s.defMeanWork
+	} else {
+		mix, err := cfg.Mix.normalize()
+		if err != nil {
+			return m, err
+		}
+		if cap(s.cum) < len(allTxTypes) {
+			s.cum = make([]float64, len(allTxTypes))
+		}
+		cum = s.cum[:len(allTxTypes)]
+		var acc float64
+		for i, tx := range allTxTypes {
+			acc += mix[tx]
+			cum[i] = acc
+		}
+		meanWork = mix.MeanWorkUnits()
 	}
 	cv := cfg.ServiceCV
 	if cv == 0 {
@@ -223,45 +315,25 @@ func (s *Sim) Simulate(cfg Config) (Metrics, error) {
 	if batch <= 0 {
 		batch = int(math.Max(1, cfg.CapacityOpsPerSec/200))
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
+	// Reseeding the held source yields the same stream a fresh
+	// rand.New(rand.NewSource(seed)) would.
+	if s.rng == nil {
+		s.rng = rand.New(rand.NewSource(cfg.Seed))
+	} else {
+		s.rng.Seed(cfg.Seed)
+	}
+	rng := s.rng
 
-	m := Metrics{TxCounts: make(map[TxType]float64, len(mix))}
 	if cfg.TargetRate == 0 {
 		return m, nil // active idle: no arrivals, no busy time
-	}
-
-	// Cumulative mix table for sampling batch composition, built into
-	// the reusable scratch slice.
-	types := allTxTypes
-	if cap(s.cum) < len(types) {
-		s.cum = make([]float64, len(types))
-	}
-	cum := s.cum[:len(types)]
-	var acc float64
-	for i, tx := range types {
-		acc += mix[tx]
-		cum[i] = acc
-	}
-	sampleType := func() TxType {
-		x := rng.Float64()
-		for i, c := range cum {
-			if x <= c {
-				return types[i]
-			}
-		}
-		return types[len(types)-1]
 	}
 
 	// Lognormal service multiplier with the requested CV.
 	sigma := math.Sqrt(math.Log(1 + cv*cv))
 	mu := -sigma * sigma / 2
-	serviceNoise := func() float64 {
-		return math.Exp(mu + sigma*rng.NormFloat64())
-	}
 
 	closedLoop := math.IsInf(cfg.TargetRate, 1)
 	batchRate := cfg.TargetRate / float64(batch)
-	meanWork := mix.MeanWorkUnits()
 
 	// Size the latency reservoir's first allocation from the expected
 	// batch count instead of always reserving the full window.
@@ -298,11 +370,18 @@ func (s *Sim) Simulate(cfg Config) (Metrics, error) {
 		var work float64
 		counts = [len(allTxTypes) + 1]int{}
 		for i := 0; i < batch; i++ {
-			tx := sampleType()
+			x := rng.Float64()
+			tx := allTxTypes[len(allTxTypes)-1]
+			for j, c := range cum {
+				if x <= c {
+					tx = allTxTypes[j]
+					break
+				}
+			}
 			counts[tx]++
 			work += workUnits[tx] // tx comes from allTxTypes: always in range
 		}
-		service := work / meanWork / cfg.CapacityOpsPerSec * serviceNoise()
+		service := work / meanWork / cfg.CapacityOpsPerSec * math.Exp(mu+sigma*rng.NormFloat64())
 		start := math.Max(nowArrival, serverFree)
 		complete := start + service
 		if complete > cfg.DurationSeconds {
@@ -324,7 +403,7 @@ func (s *Sim) Simulate(cfg Config) (Metrics, error) {
 	}
 	for tx, n := range totals {
 		if n > 0 {
-			m.TxCounts[TxType(tx)] = float64(n)
+			m.TxCounts[tx] = float64(n)
 		}
 	}
 	m.OpsPerSec = m.CompletedTx / cfg.DurationSeconds
