@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build vet test race bench fleetbench colbench simbench report report-html verify calibrate fuzz serve selftest examples clean
+.PHONY: all check build vet test race bench fleetbench colbench simbench optbench report report-html verify calibrate fuzz serve selftest examples clean
 
 all: check
 
@@ -47,6 +47,14 @@ colbench:
 # BENCH_fleetsim.json for the recorded before/after matrix).
 simbench:
 	$(GO) test -run '^$$' -bench 'BenchmarkFleetSim' -benchtime 1x ./internal/fleetsim
+
+# Composition-optimizer smoke: one iteration of the grouped/pruned/
+# naive benchmarks (BenchmarkOptimizeGrouped scores all 16,806
+# candidates of a 5-model space against a 1-minute week and must stay
+# <= 1 s single-threaded; see BENCH_optimize.json for the recorded
+# before/after matrix).
+optbench:
+	$(GO) test -run '^$$' -bench 'BenchmarkOptimize' -benchtime 1x ./internal/optimize
 
 # The full evaluation section as text / standalone HTML.
 report:

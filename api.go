@@ -9,6 +9,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/fleetsim"
+	"repro/internal/optimize"
 	"repro/internal/par"
 	"repro/internal/placement"
 	"repro/internal/power"
@@ -463,6 +464,41 @@ func SimulateFleet(cfg FleetSimConfig) (FleetSimResult, error) { return fleetsim
 // callers that want to drive steps themselves (live dashboards, custom
 // accounting); feed it trace demands in order via Step.
 func NewFleetStepper(cfg FleetSimConfig) (*FleetSimStepper, error) { return fleetsim.NewStepper(cfg) }
+
+// Composition-space what-if optimization (internal/optimize): search
+// over fleet compositions — counts per server model crossed with pack
+// policy — minimizing trace-weighted energy, cost, or carbon. Grouped
+// evaluators, a compressed demand histogram, and an admissible
+// lower-bound pruner make tens of thousands of candidates per second;
+// the top-k shortlist is re-ranked by exact fleet simulation. Results
+// are byte-identical at any worker count.
+type (
+	OptimizeConfig    = optimize.Config
+	OptimizeObjective = optimize.Objective
+	OptimizeMetric    = optimize.Metric
+	OptimizeCandidate = optimize.Candidate
+	OptimizeResult    = optimize.Result
+	// FleetGroup is a homogeneous run of identical servers — the
+	// multiset input shared by NewGroupedEvaluator, FleetSimConfig's
+	// Groups field, and the optimizer's candidates.
+	FleetGroup = placement.Group
+)
+
+// Optimization metrics.
+const (
+	MetricEnergy = optimize.MetricEnergy
+	MetricCost   = optimize.MetricCost
+	MetricCarbon = optimize.MetricCarbon
+)
+
+// OptimizeComposition searches fleet-composition space for the
+// candidate minimizing cfg.Objective over cfg.Trace.
+func OptimizeComposition(cfg OptimizeConfig) (OptimizeResult, error) {
+	return optimize.OptimizeComposition(cfg)
+}
+
+// ParseOptimizeMetric resolves a metric name (energy, cost, carbon).
+func ParseOptimizeMetric(s string) (OptimizeMetric, error) { return optimize.ParseMetric(s) }
 
 // Transaction-level workload simulation (internal/workload).
 type (

@@ -4,22 +4,35 @@
 // demand, prints the logical clusters (§V.C), and optionally maximizes
 // throughput under a power cap.
 //
+// With -optimize it instead searches fleet-composition space: which
+// mix of server models, at what counts, under which pack policy,
+// minimizes energy, cost, or carbon against a synthetic diurnal demand
+// trace (internal/optimize).
+//
 // Usage:
 //
 //	specplace [-in FILE | -seed N] [-from 2012 -to 2016] [-fleet 40]
-//	          [-demand 0.5] [-cap-watts 0] [-power-off]
+//	          [-sample-seed N] [-demand 0.5] [-cap-watts 0] [-power-off]
+//	specplace -optimize [-models 5] [-max-per-model 6] [-objective cost]
+//	          [-price 0.10] [-carbon 0.45] [-pue 1.5] [-opt-days 7]
 package main
 
 import (
 	"fmt"
 	"io"
+	"math/rand"
 	"os"
+	"sort"
+	"strings"
 	"text/tabwriter"
 
 	"repro/internal/cli"
 	"repro/internal/dataset"
+	"repro/internal/optimize"
+	"repro/internal/par"
 	"repro/internal/placement"
 	"repro/internal/synth"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -34,18 +47,35 @@ func run(args []string, stdout, stderr io.Writer) error {
 		"[-in FILE | -seed N] [-from Y -to Y] [-fleet N] [-demand F] [-cap-watts W]",
 		"plans energy-proportionality-aware workload placement for a fleet drawn from a SPECpower dataset", stderr)
 	var (
-		in       = fs.String("in", "", "dataset file (.csv or .json); empty generates the synthetic corpus")
-		seed     = fs.Int64("seed", 1, "seed for the synthetic corpus when -in is empty")
-		from     = fs.Int("from", 2011, "earliest hardware availability year for the fleet")
-		to       = fs.Int("to", 2016, "latest hardware availability year for the fleet")
-		fleetN   = fs.Int("fleet", 40, "fleet size (servers drawn from the dataset)")
-		demand   = fs.Float64("demand", 0.5, "workload demand as a fraction of fleet capacity")
-		capWatts = fs.Float64("cap-watts", 0, "when > 0, also maximize throughput under this power budget")
-		powerOff = fs.Bool("power-off", false, "treat unassigned servers as powered off")
-		bandW    = fs.Float64("ep-band", 0.1, "EP band width for logical clustering")
+		in         = fs.String("in", "", "dataset file (.csv or .json); empty generates the synthetic corpus")
+		seed       = fs.Int64("seed", 1, "seed for the synthetic corpus when -in is empty")
+		from       = fs.Int("from", 2011, "earliest hardware availability year for the fleet")
+		to         = fs.Int("to", 2016, "latest hardware availability year for the fleet")
+		fleetN     = fs.Int("fleet", 40, "fleet size (servers drawn from the dataset)")
+		demand     = fs.Float64("demand", 0.5, "workload demand as a fraction of fleet capacity")
+		capWatts   = fs.Float64("cap-watts", 0, "when > 0, also maximize throughput under this power budget")
+		powerOff   = fs.Bool("power-off", false, "treat unassigned servers as powered off")
+		bandW      = fs.Float64("ep-band", 0.1, "EP band width for logical clustering")
+		sampleSeed = fs.Int64("sample-seed", 1, "seed for the deterministic fleet sample; 0 takes the first -fleet rows in dataset order (legacy)")
+		doOpt      = fs.Bool("optimize", false, "search fleet-composition space instead of placing a fixed fleet")
+		optModels  = fs.Int("models", 5, "optimize: number of distinct server models in the composition alphabet")
+		maxPer     = fs.Int("max-per-model", 6, "optimize: largest per-model server count")
+		countStep  = fs.Int("count-step", 1, "optimize: count granularity")
+		bins       = fs.Int("bins", 128, "optimize: demand-histogram resolution")
+		objName    = fs.String("objective", "energy", "optimize: metric to minimize (energy, cost, carbon)")
+		price      = fs.Float64("price", 0.10, "electricity price, USD per kWh")
+		carbon     = fs.Float64("carbon", 0.45, "grid carbon intensity, kg CO2 per kWh")
+		pue        = fs.Float64("pue", 1.5, "facility power usage effectiveness")
+		topK       = fs.Int("top", 5, "optimize: shortlist size replayed exactly through the fleet simulator")
+		optDays    = fs.Int("opt-days", 7, "optimize: demand-trace length in days")
+		optStep    = fs.Float64("opt-step", 60, "optimize: demand-trace step in seconds")
+		workers    = fs.Int("workers", 0, "worker cap for the parallel search (0 = GOMAXPROCS)")
 	)
 	if done, err := cli.Parse(fs, args, stdout); done || err != nil {
 		return err
+	}
+	if *workers > 0 {
+		defer par.SetMaxWorkers(par.SetMaxWorkers(*workers))
 	}
 	rp, err := load(*in, *seed)
 	if err != nil {
@@ -55,8 +85,15 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if len(servers) == 0 {
 		return fmt.Errorf("no servers in %d-%d", *from, *to)
 	}
-	if len(servers) > *fleetN {
-		servers = servers[:*fleetN]
+	servers = sampleServers(servers, *fleetN, *sampleSeed)
+	if *doOpt {
+		return runOptimize(stdout, servers, optConfig{
+			models: *optModels, maxPer: *maxPer, step: *countStep,
+			bins: *bins, objective: *objName, topK: *topK,
+			days: *optDays, stepSeconds: *optStep, demand: *demand,
+			tariff: trace.Tariff{USDPerKWh: *price, KgCO2PerKWh: *carbon, PUE: *pue},
+			seed:   *seed,
+		})
 	}
 	fleet := make([]*placement.Profile, 0, len(servers))
 	var capacity float64
@@ -135,4 +172,120 @@ func load(path string, seed int64) (*dataset.Repository, error) {
 		return synth.NewRepository(synth.Config{Seed: seed})
 	}
 	return dataset.ReadPath(path)
+}
+
+// sampleServers draws n servers from the dataset. A non-zero seed
+// picks a deterministic uniform sample, so the fleet reflects the
+// whole dataset rather than whichever rows happen to sort first; seed
+// 0 keeps the legacy take-first-n behavior. Either way the selection
+// preserves dataset order.
+func sampleServers(servers []*dataset.Result, n int, seed int64) []*dataset.Result {
+	if len(servers) <= n {
+		return servers
+	}
+	if seed == 0 {
+		return servers[:n]
+	}
+	idx := rand.New(rand.NewSource(seed)).Perm(len(servers))[:n]
+	sort.Ints(idx)
+	out := make([]*dataset.Result, n)
+	for i, j := range idx {
+		out[i] = servers[j]
+	}
+	return out
+}
+
+type optConfig struct {
+	models, maxPer, step, bins, topK int
+	days                             int
+	stepSeconds, demand              float64
+	objective                        string
+	tariff                           trace.Tariff
+	seed                             int64
+}
+
+// runOptimize searches composition space over the first oc.models
+// distinct models of the sampled fleet against a synthetic diurnal
+// trace whose mean demand is oc.demand of the largest composition's
+// capacity.
+func runOptimize(stdout io.Writer, servers []*dataset.Result, oc optConfig) error {
+	if oc.models < 1 {
+		return fmt.Errorf("need at least one model, got %d", oc.models)
+	}
+	if oc.models > len(servers) {
+		oc.models = len(servers)
+	}
+	metric, err := optimize.ParseMetric(oc.objective)
+	if err != nil {
+		return err
+	}
+	models := make([]*placement.Profile, 0, oc.models)
+	var maxCap float64
+	for _, r := range servers[:oc.models] {
+		p, err := placement.NewProfile(r.ID, r.MustCurve())
+		if err != nil {
+			return err
+		}
+		models = append(models, p)
+		maxCap += float64(oc.maxPer) * p.MaxOps
+	}
+	if oc.demand <= 0 || oc.demand > 1 {
+		return fmt.Errorf("demand %v outside (0, 1]", oc.demand)
+	}
+	tr, err := trace.Diurnal(trace.DiurnalConfig{
+		Seed: oc.seed, Days: oc.days, StepSeconds: oc.stepSeconds,
+		BaseOps: oc.demand * maxCap, DailySwing: 0.4, SpikeProb: 0.002,
+	})
+	if err != nil {
+		return err
+	}
+	res, err := optimize.OptimizeComposition(optimize.Config{
+		Models:      models,
+		Trace:       tr,
+		Objective:   optimize.Objective{Metric: metric, Tariff: oc.tariff},
+		MaxPerModel: oc.maxPer,
+		CountStep:   oc.step,
+		Bins:        oc.bins,
+		TopK:        oc.topK,
+		Seed:        oc.seed,
+	})
+	if err != nil {
+		return err
+	}
+	st := tr.Stats()
+	fmt.Fprintf(stdout, "composition search: %d models x counts 0-%d (step %d) x %d policies = %d candidates\n",
+		len(models), oc.maxPer, oc.step, 4, res.SpaceSize)
+	fmt.Fprintf(stdout, "trace: %d days at %.0f s steps, peak %.2fM ops (%d-bin histogram)\n",
+		oc.days, oc.stepSeconds, st.PeakOps/1e6, res.Bins)
+	mode := "exhaustive"
+	if !res.Exhaustive {
+		mode = "beam"
+	}
+	fmt.Fprintf(stdout, "search: %s; %d scored, %d pruned, %d infeasible\n\n",
+		mode, res.Evaluated, res.Pruned, res.Infeasible)
+
+	unit := metric.Unit()
+	tw := tabwriter.NewWriter(stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "rank\tcomposition\tpolicy\tservers\tcapacity (M ops)\tenergy (kWh)\t%s (exact)\n", unit)
+	for i, c := range res.TopK {
+		var parts []string
+		for m, n := range c.Counts {
+			if n > 0 {
+				parts = append(parts, fmt.Sprintf("%dx %s", n, models[m].ID))
+			}
+		}
+		fmt.Fprintf(tw, "#%d\t%s\t%s\t%d\t%.2f\t%.1f\t%.4g\n",
+			i+1, strings.Join(parts, " + "), c.Policy.String(),
+			c.Servers, c.CapacityOps/1e6, c.ExactEnergyKWh, c.ExactObjective)
+	}
+	tw.Flush()
+
+	best := res.Best
+	bill, err := optimize.Objective{Metric: metric, Tariff: oc.tariff}.Bill(best.ExactEnergyKWh)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "\noptimum: %.1f kWh IT energy over %d days -> %.1f kWh facility, $%.2f, %.1f kgCO2\n",
+		best.ExactEnergyKWh, oc.days, bill.FacilityKWh, bill.USD, bill.KgCO2)
+	return nil
 }

@@ -2,6 +2,8 @@ package main
 
 import (
 	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
 	"strings"
 	"testing"
 )
@@ -33,5 +35,83 @@ func TestRunEmptyYearRange(t *testing.T) {
 	var out, errBuf bytes.Buffer
 	if err := run([]string{"-from", "1999", "-to", "2000"}, &out, &errBuf); err == nil {
 		t.Error("empty range accepted")
+	}
+}
+
+// TestSampleSeed pins the fleet-selection fix: the default seeded
+// sample is deterministic but differs from the legacy take-first-n
+// prefix, which stays reachable at -sample-seed 0.
+func TestSampleSeed(t *testing.T) {
+	runOut := func(args ...string) string {
+		t.Helper()
+		var out, errBuf bytes.Buffer
+		if err := run(append([]string{"-fleet", "10", "-demand", "0.4"}, args...), &out, &errBuf); err != nil {
+			t.Fatal(err)
+		}
+		return out.String()
+	}
+	def := runOut()
+	if def != runOut() {
+		t.Error("default sample not deterministic")
+	}
+	if def != runOut("-sample-seed", "1") {
+		t.Error("default differs from -sample-seed 1")
+	}
+	legacy := runOut("-sample-seed", "0")
+	if legacy == def {
+		t.Error("seeded sample identical to legacy prefix — sampling is not happening")
+	}
+	if legacy != runOut("-sample-seed", "0") {
+		t.Error("legacy prefix not deterministic")
+	}
+	if runOut("-sample-seed", "7") == def {
+		t.Error("different sample seeds selected the same fleet")
+	}
+}
+
+// TestOptimizeDigestWorkerInvariant is the golden smoke test for the
+// composition search: the full report must be byte-identical at 1, 2,
+// and 8 workers.
+func TestOptimizeDigestWorkerInvariant(t *testing.T) {
+	var first string
+	for _, workers := range []string{"1", "2", "8"} {
+		var out, errBuf bytes.Buffer
+		err := run([]string{
+			"-optimize", "-models", "4", "-max-per-model", "5",
+			"-opt-days", "2", "-opt-step", "300", "-objective", "cost",
+			"-workers", workers,
+		}, &out, &errBuf)
+		if err != nil {
+			t.Fatalf("workers=%s: %v", workers, err)
+		}
+		sum := sha256.Sum256(out.Bytes())
+		digest := hex.EncodeToString(sum[:])
+		if first == "" {
+			first = digest
+			for _, want := range []string{"composition search", "exhaustive", "pack+off", "optimum:", "USD"} {
+				if !strings.Contains(out.String(), want) {
+					t.Errorf("report missing %q:\n%s", want, out.String())
+				}
+			}
+		} else if digest != first {
+			t.Fatalf("workers=%s digest %s != workers=1 digest %s", workers, digest, first)
+		}
+	}
+}
+
+// TestOptimizeBadArgs covers optimize-mode flag validation.
+func TestOptimizeBadArgs(t *testing.T) {
+	cases := [][]string{
+		{"-optimize", "-objective", "joules"},
+		{"-optimize", "-demand", "0"},
+		{"-optimize", "-demand", "1.5"},
+		{"-optimize", "-models", "0"},
+		{"-optimize", "-top", "-1"},
+	}
+	for _, args := range cases {
+		var out, errBuf bytes.Buffer
+		if err := run(args, &out, &errBuf); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
 	}
 }

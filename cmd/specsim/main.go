@@ -12,6 +12,7 @@
 //	        [-format text|csv|json] [-seed N] [-load F] [-swing F]
 //	        [-hyst STEPS] [-headroom F] [-min-active N]
 //	        [-on SEC] [-off SEC] [-latency-every N]
+//	        [-price USD] [-carbon KG] [-pue F]
 package main
 
 import (
@@ -26,6 +27,7 @@ import (
 	"repro/internal/cli"
 	"repro/internal/cluster"
 	"repro/internal/fleetsim"
+	"repro/internal/optimize"
 	"repro/internal/par"
 	"repro/internal/placement"
 	"repro/internal/synth"
@@ -60,6 +62,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 		onSec    = fs.Float64("on", 30, "power-on transition seconds (billed at full-load draw)")
 		offSec   = fs.Float64("off", 10, "power-off transition seconds (billed at idle draw)")
 		latEvery = fs.Int("latency-every", 0, "sample marginal-server latency every N steps (0 = off)")
+		price    = fs.Float64("price", 0, "electricity price, USD per kWh (0 = no cost line)")
+		carbon   = fs.Float64("carbon", 0, "grid carbon intensity, kg CO2 per kWh (0 = no carbon line)")
+		pue      = fs.Float64("pue", 1, "facility power usage effectiveness for cost/carbon pricing")
 	)
 	if done, err := cli.Parse(fs, args, stdout); done || err != nil {
 		return err
@@ -125,6 +130,19 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return err
 	}
 
+	// Pricing rides on the optimizer's objective layer; the lines only
+	// appear when a rate is set, so default output (and its golden
+	// digests) is unchanged.
+	var bill *trace.Bill
+	if *price != 0 || *carbon != 0 {
+		o := optimize.Objective{Tariff: trace.Tariff{USDPerKWh: *price, KgCO2PerKWh: *carbon, PUE: *pue}}
+		b, err := o.Bill(res.EnergyKWh)
+		if err != nil {
+			return err
+		}
+		bill = &b
+	}
+
 	switch *format {
 	case "csv":
 		return nil
@@ -142,13 +160,32 @@ func run(args []string, stdout, stderr io.Writer) error {
 			return err
 		}
 		obj["Policy"] = policy.String()
+		if bill != nil {
+			obj["Bill"] = bill
+		}
 		return enc.Encode(obj)
 	case "text":
 		writeText(stdout, res)
+		if bill != nil {
+			writeBill(stdout, *bill, *price, *carbon, *pue)
+		}
 		return nil
 	default:
 		return fmt.Errorf("unknown format %q", *format)
 	}
+}
+
+// writeBill appends the priced summary lines.
+func writeBill(w io.Writer, b trace.Bill, price, carbon, pue float64) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "facility\t%.1f kWh (PUE %.2f)\n", b.FacilityKWh, pue)
+	if price > 0 {
+		fmt.Fprintf(tw, "cost\t$%.2f at $%.3g/kWh\n", b.USD, price)
+	}
+	if carbon > 0 {
+		fmt.Fprintf(tw, "carbon\t%.1f kgCO2 at %.3g kg/kWh\n", b.KgCO2, carbon)
+	}
+	tw.Flush()
 }
 
 func parsePolicy(s string) (cluster.Policy, error) {

@@ -95,6 +95,63 @@ func TestCSVTraceFile(t *testing.T) {
 	}
 }
 
+// TestPricedSummary covers the -price/-carbon lines in text and JSON;
+// they only appear when a rate is set.
+func TestPricedSummary(t *testing.T) {
+	base := []string{"-servers", "50", "-duration", "1", "-step", "300"}
+	var plain, priced, errBuf bytes.Buffer
+	if err := run(base, &plain, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	for _, stray := range []string{"cost", "carbon", "facility"} {
+		if strings.Contains(plain.String(), stray) {
+			t.Errorf("unpriced summary contains %q:\n%s", stray, plain.String())
+		}
+	}
+	err := run(append(base, "-price", "0.10", "-carbon", "0.45", "-pue", "1.5"), &priced, &errBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"facility", "PUE 1.50", "cost", "$", "carbon", "kgCO2"} {
+		if !strings.Contains(priced.String(), want) {
+			t.Errorf("priced summary missing %q:\n%s", want, priced.String())
+		}
+	}
+
+	var jsonOut bytes.Buffer
+	err = run(append(base, "-format", "json", "-price", "0.10", "-pue", "1.5"), &jsonOut, &errBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res struct {
+		EnergyKWh float64 `json:"EnergyKWh"`
+		Bill      *struct {
+			FacilityKWh, USD, KgCO2 float64
+		} `json:"Bill"`
+	}
+	if err := json.Unmarshal(jsonOut.Bytes(), &res); err != nil {
+		t.Fatalf("bad json: %v\n%s", err, jsonOut.String())
+	}
+	if res.Bill == nil {
+		t.Fatalf("priced JSON missing Bill:\n%s", jsonOut.String())
+	}
+	wantFacility := 1.5 * res.EnergyKWh
+	if diff := res.Bill.FacilityKWh - wantFacility; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("facility %v, want %v", res.Bill.FacilityKWh, wantFacility)
+	}
+	if res.Bill.USD <= 0 || res.Bill.KgCO2 != 0 {
+		t.Errorf("bill %+v", res.Bill)
+	}
+
+	var plainJSON bytes.Buffer
+	if err := run(append(base, "-format", "json"), &plainJSON, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(plainJSON.String(), "Bill") {
+		t.Errorf("unpriced JSON carries Bill:\n%s", plainJSON.String())
+	}
+}
+
 func TestBadArgs(t *testing.T) {
 	cases := [][]string{
 		{"-policy", "nonsense"},
@@ -102,6 +159,8 @@ func TestBadArgs(t *testing.T) {
 		{"-trace", "/nope/missing.csv"},
 		{"-duration", "0"},
 		{"-servers", "0"},
+		{"-price", "-1"},
+		{"-price", "0.1", "-pue", "0.5"},
 	}
 	for _, args := range cases {
 		var out, errBuf bytes.Buffer

@@ -26,7 +26,6 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"sort"
 
 	"repro/internal/core"
 	"repro/internal/par"
@@ -156,42 +155,59 @@ func Compose(members []*placement.Profile, policy Policy) (Aggregate, error) {
 
 // Evaluator holds the per-fleet state precomputed once per fleet so
 // each demand point evaluates without sorting, allocating, or scanning
-// more members than necessary:
+// more members than necessary. The fleet is stored as maximal runs of
+// identical members (placement.Group); per-member prefix state over a
+// run collapses to the closed form base + float64(j)·perMember, so
+// construction and every query cost O(groups·…) rather than
+// O(servers·…):
 //
-//   - Pack/PackPowerOff: prefix sums of member capacity and peak power
-//     plus a suffix sum of idle power turn the linear fill scan into a
-//     binary search — O(log n) per demand point instead of O(n).
-//   - Spread: the capacity total is computed once instead of once per
-//     grid step.
-//   - OptimalRegion: the fleet is sorted into engage order once; each
-//     point runs placement.ProportionalFill on a reusable scratch slice
-//     instead of re-sorting and re-allocating a full Plan.
+//   - Pack/PackPowerOff: per-group boundary prefix sums of capacity
+//     and peak power plus a suffix sum of idle power turn the linear
+//     fill scan into two binary searches — O(log groups) per demand
+//     point.
+//   - Spread: one count-weighted power term per group.
+//   - OptimalRegion: groups are sorted into engage order once; each
+//     point runs placement.FillGroups on a reusable scratch slice.
+//
+// For an all-distinct fleet every run has length one and the closed
+// form reduces to the old member-at-a-time accumulation bit-for-bit;
+// a grouped fleet built via NewGroupedEvaluator shares this arithmetic
+// with the expanded fleet, which is what makes the composition
+// optimizer's candidate scores Float64bits-identical to expanding the
+// multiset (see TestGroupedEvaluatorOracle).
 //
 // Compose builds one per call; internal/fleetsim builds one per
-// simulation and reuses it across every time step, which is what makes
-// an incremental step O(log n) instead of the O(n) full recompose. An
-// Evaluator is immutable after construction and safe for concurrent
-// use; the mutable per-worker state lives in Scratch.
+// simulation and reuses it across every time step. An Evaluator is
+// immutable after construction and safe for concurrent use; the
+// mutable per-worker state lives in Scratch.
 type Evaluator struct {
-	policy   Policy
-	members  []*placement.Profile
+	policy Policy
+	// groups are the fleet's maximal runs in member order; startIdx[g]
+	// is the member index where group g begins, startIdx[len(groups)]
+	// the fleet size.
+	groups   []placement.Group
+	startIdx []int
+	n        int
 	capacity float64
 	// idleW is the whole-fleet idle draw summed in member order — the
 	// demand<=0 answer for Pack and OptimalRegion.
 	idleW float64
-	// Pack/PackPowerOff arrays, all len(members)+1: cumOps[k] and
-	// cumPeakW[k] cover members[:k]; sufIdleW[k] covers members[k:].
-	cumOps   []float64
-	cumPeakW []float64
-	sufIdleW []float64
-	// order is the OptimalRegion engage order.
-	order []*placement.Profile
+	// Pack/PackPowerOff state, all len(groups): per-member capacity,
+	// peak and idle watts of each group, and the closed-form prefix
+	// value at the END of each group (endOps/endPeakW). sufIdleW has
+	// len(groups)+1: the suffix idle draw at the START of each group.
+	gOps, gPeakW, gIdleW []float64
+	endOps, endPeakW     []float64
+	sufIdleW             []float64
+	// order is the OptimalRegion engage order, coalesced into maximal
+	// runs again after the stable sort.
+	order []placement.Group
 }
 
 // Scratch is the per-worker mutable state for one grid chunk or one
 // simulation stepper; it must not be shared between goroutines.
 type Scratch struct {
-	util []float64
+	fill []placement.GroupFill
 }
 
 // NewEvaluator validates the members and precomputes the policy's
@@ -201,7 +217,7 @@ func NewEvaluator(members []*placement.Profile, policy Policy) (*Evaluator, erro
 	if len(members) == 0 {
 		return nil, errors.New("cluster: no members")
 	}
-	ev, err := newEvaluator(members, policy)
+	ev, err := newGroupedEvaluator(placement.GroupRuns(members), policy)
 	if err != nil {
 		return nil, err
 	}
@@ -211,37 +227,102 @@ func NewEvaluator(members []*placement.Profile, policy Policy) (*Evaluator, erro
 	return ev, nil
 }
 
-func newEvaluator(members []*placement.Profile, policy Policy) (*Evaluator, error) {
-	n := len(members)
-	ev := &Evaluator{policy: policy, members: members}
+// NewGroupedEvaluator builds an evaluator for a fleet given as model
+// groups without expanding the multiset: a candidate composition of
+// millions of servers over a handful of models costs O(models) to
+// construct and O(log models) per demand point. Zero-count groups are
+// dropped and adjacent equal-profile groups merge; negative counts and
+// nil profiles are rejected. The result is Float64bits-identical to
+// NewEvaluator over the expanded member list.
+func NewGroupedEvaluator(groups []placement.Group, policy Policy) (*Evaluator, error) {
+	merged := make([]placement.Group, 0, len(groups))
+	for _, g := range groups {
+		if g.Count < 0 {
+			return nil, fmt.Errorf("cluster: negative group count %d", g.Count)
+		}
+		if g.Count == 0 {
+			continue
+		}
+		if g.P == nil {
+			return nil, errors.New("cluster: nil profile in group")
+		}
+		if n := len(merged); n > 0 && merged[n-1].P == g.P {
+			merged[n-1].Count += g.Count
+			continue
+		}
+		merged = append(merged, g)
+	}
+	if len(merged) == 0 {
+		return nil, errors.New("cluster: no members")
+	}
+	ev, err := newGroupedEvaluator(merged, policy)
+	if err != nil {
+		return nil, err
+	}
+	if ev.capacity <= 0 {
+		return nil, errors.New("cluster: zero capacity")
+	}
+	return ev, nil
+}
+
+// coalesceGroups merges adjacent equal-profile groups in place — used
+// after the engage-order sort brings split runs back together, so fill
+// runs are maximal on both the grouped and the expanded path.
+func coalesceGroups(groups []placement.Group) []placement.Group {
+	out := groups[:0]
+	for _, g := range groups {
+		if n := len(out); n > 0 && out[n-1].P == g.P {
+			out[n-1].Count += g.Count
+			continue
+		}
+		out = append(out, g)
+	}
+	return out
+}
+
+func newGroupedEvaluator(groups []placement.Group, policy Policy) (*Evaluator, error) {
+	G := len(groups)
+	ev := &Evaluator{policy: policy, groups: groups}
+	ev.startIdx = make([]int, G+1)
+	for i, g := range groups {
+		ev.startIdx[i+1] = ev.startIdx[i] + g.Count
+	}
+	ev.n = ev.startIdx[G]
 	switch policy {
 	case PolicySpread:
-		for _, m := range members {
-			ev.capacity += m.MaxOps
+		for _, g := range groups {
+			ev.capacity += float64(g.Count) * g.P.MaxOps
 		}
 	case PolicyPack, PolicyPackPowerOff:
-		ev.cumOps = make([]float64, n+1)
-		ev.cumPeakW = make([]float64, n+1)
-		ev.sufIdleW = make([]float64, n+1)
-		for i, m := range members {
-			ev.cumOps[i+1] = ev.cumOps[i] + m.MaxOps
-			ev.cumPeakW[i+1] = ev.cumPeakW[i] + m.PowerAt(1)
+		ev.gOps = make([]float64, G)
+		ev.gPeakW = make([]float64, G)
+		ev.gIdleW = make([]float64, G)
+		ev.endOps = make([]float64, G)
+		ev.endPeakW = make([]float64, G)
+		ev.sufIdleW = make([]float64, G+1)
+		var ops, pw float64
+		for i, g := range groups {
+			ev.gOps[i] = g.P.MaxOps
+			ev.gPeakW[i] = g.P.PowerAt(1)
+			ev.gIdleW[i] = g.P.PowerAt(0)
+			ops += float64(g.Count) * ev.gOps[i]
+			pw += float64(g.Count) * ev.gPeakW[i]
+			ev.endOps[i] = ops
+			ev.endPeakW[i] = pw
 		}
-		for i := n - 1; i >= 0; i-- {
-			ev.sufIdleW[i] = ev.sufIdleW[i+1] + members[i].PowerAt(0)
+		for i := G - 1; i >= 0; i-- {
+			ev.sufIdleW[i] = ev.sufIdleW[i+1] + float64(groups[i].Count)*ev.gIdleW[i]
 		}
-		// The prefix chain accumulates in the same left-to-right order the
-		// sequential scan did, so capacity matches it bit-for-bit.
-		ev.capacity = ev.cumOps[n]
-		for _, m := range members {
-			ev.idleW += m.PowerAt(0)
+		ev.capacity = ev.endOps[G-1]
+		for i, g := range groups {
+			ev.idleW += float64(g.Count) * ev.gIdleW[i]
 		}
 	case PolicyOptimalRegion:
-		for _, m := range members {
-			ev.capacity += m.MaxOps
-			ev.idleW += m.PowerAt(0)
+		for _, g := range groups {
+			ev.capacity += float64(g.Count) * g.P.MaxOps
+			ev.idleW += float64(g.Count) * g.P.PowerAt(0)
 		}
-		ev.order = placement.EngageOrder(members)
+		ev.order = coalesceGroups(placement.EngageOrderGroups(groups))
 	default:
 		return nil, fmt.Errorf("cluster: unknown policy %d", policy)
 	}
@@ -253,7 +334,7 @@ func newEvaluator(members []*placement.Profile, policy Policy) (*Evaluator, erro
 // writable slices.
 func (ev *Evaluator) NewScratch() *Scratch {
 	if ev.policy == PolicyOptimalRegion {
-		return &Scratch{util: make([]float64, len(ev.order))}
+		return &Scratch{fill: make([]placement.GroupFill, len(ev.order))}
 	}
 	return &Scratch{}
 }
@@ -262,10 +343,96 @@ func (ev *Evaluator) NewScratch() *Scratch {
 func (ev *Evaluator) Policy() Policy { return ev.policy }
 
 // Len returns the number of members.
-func (ev *Evaluator) Len() int { return len(ev.members) }
+func (ev *Evaluator) Len() int { return ev.n }
+
+// Groups returns the fleet's maximal runs in member order. The slice
+// is the evaluator's own and must not be mutated.
+func (ev *Evaluator) Groups() []placement.Group { return ev.groups }
 
 // Capacity returns the fleet's total throughput at full load.
 func (ev *Evaluator) Capacity() float64 { return ev.capacity }
+
+// groupOf returns the index of the group containing member i;
+// i must be in [0, n).
+func (ev *Evaluator) groupOf(i int) int {
+	lo, hi := 0, len(ev.groups)-1
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if ev.startIdx[mid+1] > i {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// packPoint locates the marginal member for positive demand under a
+// pack policy: the group gi and 1-based offset j within it of the
+// first member at which the cumulative capacity reaches demand.
+// Demand beyond the fleet capacity saturates at the last member.
+func (ev *Evaluator) packPoint(d float64) (gi, j int) {
+	lo, hi := 0, len(ev.groups)-1
+	if d > ev.endOps[hi] {
+		return hi, ev.groups[hi].Count
+	}
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if ev.endOps[mid] >= d {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	gi = lo
+	base := 0.0
+	if gi > 0 {
+		base = ev.endOps[gi-1]
+	}
+	per := ev.gOps[gi]
+	jlo, jhi := 1, ev.groups[gi].Count
+	for jlo < jhi {
+		mid := int(uint(jlo+jhi) >> 1)
+		if base+float64(mid)*per >= d {
+			jhi = mid
+		} else {
+			jlo = mid + 1
+		}
+	}
+	return gi, jlo
+}
+
+// prefixOps returns the closed-form cumulative capacity of the first k
+// members; k must be in [1, n].
+func (ev *Evaluator) prefixOps(k int) float64 {
+	g := ev.groupOf(k - 1)
+	base := 0.0
+	if g > 0 {
+		base = ev.endOps[g-1]
+	}
+	return base + float64(k-ev.startIdx[g])*ev.gOps[g]
+}
+
+// prefixPeakW returns the closed-form cumulative full-load power of
+// the first k members; k must be in [1, n].
+func (ev *Evaluator) prefixPeakW(k int) float64 {
+	g := ev.groupOf(k - 1)
+	base := 0.0
+	if g > 0 {
+		base = ev.endPeakW[g-1]
+	}
+	return base + float64(k-ev.startIdx[g])*ev.gPeakW[g]
+}
+
+// suffixIdleW returns the closed-form idle power of members k..;
+// k must be in [0, n].
+func (ev *Evaluator) suffixIdleW(k int) float64 {
+	if k >= ev.n {
+		return 0
+	}
+	g := ev.groupOf(k)
+	return ev.sufIdleW[g+1] + float64(ev.startIdx[g+1]-k)*ev.gIdleW[g]
+}
 
 // PowerAt computes the cluster's power when serving demandOps. The
 // policy was validated at evaluator construction, so it cannot fail.
@@ -278,8 +445,8 @@ func (ev *Evaluator) PowerAt(demandOps float64, sc *Scratch) float64 {
 	case PolicySpread:
 		u := math.Min(1, demandOps/ev.capacity)
 		var watts float64
-		for _, m := range ev.members {
-			watts += m.PowerAt(u)
+		for _, g := range ev.groups {
+			watts += float64(g.Count) * g.P.PowerAt(u)
 		}
 		return watts
 	case PolicyPack, PolicyPackPowerOff:
@@ -289,16 +456,21 @@ func (ev *Evaluator) PowerAt(demandOps float64, sc *Scratch) float64 {
 			}
 			return ev.idleW
 		}
-		// First k with cumulative capacity >= demand: members[:k-1] run
-		// full, members[k-1] takes the remainder, members[k:] idle.
-		k := sort.SearchFloat64s(ev.cumOps, demandOps)
-		if k > len(ev.members) {
-			k = len(ev.members)
+		// Marginal member k: members[:k-1] run full, members[k-1] takes
+		// the remainder, members[k:] idle.
+		gi, j := ev.packPoint(demandOps)
+		k := ev.startIdx[gi] + j
+		base := 0.0
+		basePw := 0.0
+		if gi > 0 {
+			base = ev.endOps[gi-1]
+			basePw = ev.endPeakW[gi-1]
 		}
-		last := ev.members[k-1]
-		watts := ev.cumPeakW[k-1] + last.PowerAt((demandOps-ev.cumOps[k-1])/last.MaxOps)
+		prevOps := base + float64(j-1)*ev.gOps[gi]
+		watts := basePw + float64(j-1)*ev.gPeakW[gi] +
+			ev.groups[gi].P.PowerAt((demandOps-prevOps)/ev.gOps[gi])
 		if ev.policy == PolicyPack {
-			watts += ev.sufIdleW[k]
+			watts += ev.suffixIdleW(k)
 		}
 		return watts
 	case PolicyOptimalRegion:
@@ -306,10 +478,19 @@ func (ev *Evaluator) PowerAt(demandOps float64, sc *Scratch) float64 {
 			// All members idle.
 			return ev.idleW
 		}
-		placement.ProportionalFill(ev.order, demandOps, sc.util)
+		placement.FillGroups(ev.order, demandOps, sc.fill)
 		var watts float64
-		for i, s := range ev.order {
-			watts += s.PowerAt(sc.util[i])
+		for i, g := range ev.order {
+			f := sc.fill[i]
+			if f.Hi > 0 {
+				watts += float64(f.Hi) * g.P.PowerAt(f.HiUtil)
+			}
+			if f.Mid > 0 {
+				watts += g.P.PowerAt(f.MidUtil)
+			}
+			if f.Lo > 0 {
+				watts += float64(f.Lo) * g.P.PowerAt(f.LoUtil)
+			}
 		}
 		return watts
 	default:
@@ -333,49 +514,50 @@ func (ev *Evaluator) MinServers(demandOps float64) int {
 	if demandOps <= 0 {
 		return 0
 	}
-	if ev.cumOps == nil {
-		return len(ev.members)
+	if ev.endOps == nil {
+		return ev.n
 	}
-	if k := sort.SearchFloat64s(ev.cumOps, demandOps); k <= len(ev.members) {
-		return k
+	if demandOps > ev.capacity {
+		return ev.n
 	}
-	return len(ev.members)
+	gi, j := ev.packPoint(demandOps)
+	return ev.startIdx[gi] + j
 }
 
-// PrefixCapacity returns the combined capacity of the first k members,
-// cumOps[k]; k clamps to [0, Len()]. Pack policies only; other
-// evaluators return the whole-fleet capacity for any positive k.
+// PrefixCapacity returns the combined capacity of the first k members;
+// k clamps to [0, Len()]. Pack policies only; other evaluators return
+// the whole-fleet capacity for any positive k.
 func (ev *Evaluator) PrefixCapacity(k int) float64 {
 	if k <= 0 {
 		return 0
 	}
-	if ev.cumOps == nil {
+	if ev.endOps == nil {
 		return ev.capacity
 	}
-	if k > len(ev.members) {
-		k = len(ev.members)
+	if k > ev.n {
+		k = ev.n
 	}
-	return ev.cumOps[k]
+	return ev.prefixOps(k)
 }
 
 // PrefixPeakWatts returns the combined full-load power of the first k
-// members, cumPeakW[k]; k clamps to [0, Len()]. The simulator prices a
-// span of power-on transitions as a difference of two of these. Pack
-// policies only; other evaluators return 0.
+// members; k clamps to [0, Len()]. The simulator prices a span of
+// power-on transitions as a difference of two of these. Pack policies
+// only; other evaluators return 0.
 func (ev *Evaluator) PrefixPeakWatts(k int) float64 {
-	if ev.cumPeakW == nil || k <= 0 {
+	if ev.endPeakW == nil || k <= 0 {
 		return 0
 	}
-	if k > len(ev.members) {
-		k = len(ev.members)
+	if k > ev.n {
+		k = ev.n
 	}
-	return ev.cumPeakW[k]
+	return ev.prefixPeakW(k)
 }
 
 // SuffixIdleWatts returns the combined active-idle power of members
-// k.. (sufIdleW[k]); k clamps to [0, Len()]. A span's idle draw — the
-// cost of servers a hysteresis policy keeps warm — is a difference of
-// two of these. Pack policies only; other evaluators return 0.
+// k..; k clamps to [0, Len()]. A span's idle draw — the cost of
+// servers a hysteresis policy keeps warm — is a difference of two of
+// these. Pack policies only; other evaluators return 0.
 func (ev *Evaluator) SuffixIdleWatts(k int) float64 {
 	if ev.sufIdleW == nil {
 		return 0
@@ -383,10 +565,10 @@ func (ev *Evaluator) SuffixIdleWatts(k int) float64 {
 	if k < 0 {
 		k = 0
 	}
-	if k > len(ev.members) {
-		k = len(ev.members)
+	if k > ev.n {
+		k = ev.n
 	}
-	return ev.sufIdleW[k]
+	return ev.suffixIdleW(k)
 }
 
 // ActivePower returns the fleet's power draw when exactly the first
@@ -400,30 +582,46 @@ func (ev *Evaluator) SuffixIdleWatts(k int) float64 {
 // active clamps to [0, Len()]; zero active draws nothing. Pack-policy
 // evaluators only — ActivePower panics otherwise.
 func (ev *Evaluator) ActivePower(demandOps float64, active int) float64 {
-	if ev.cumOps == nil {
+	if ev.endOps == nil {
 		panic("cluster: ActivePower requires a pack-policy evaluator")
 	}
-	if active > len(ev.members) {
-		active = len(ev.members)
+	if active > ev.n {
+		active = ev.n
 	}
 	if active <= 0 {
 		return 0
 	}
 	if demandOps <= 0 {
-		return ev.sufIdleW[0] - ev.sufIdleW[active]
+		return ev.suffixIdleW(0) - ev.suffixIdleW(active)
 	}
-	k := sort.SearchFloat64s(ev.cumOps[:active+1], demandOps)
+	if demandOps > ev.capacity {
+		return ev.prefixPeakW(active)
+	}
+	gi, j := ev.packPoint(demandOps)
+	k := ev.startIdx[gi] + j
 	if k > active {
 		// Saturated: every active member at full load.
-		return ev.cumPeakW[active]
+		return ev.prefixPeakW(active)
 	}
-	last := ev.members[k-1]
-	return ev.cumPeakW[k-1] + last.PowerAt((demandOps-ev.cumOps[k-1])/last.MaxOps) +
-		(ev.sufIdleW[k] - ev.sufIdleW[active])
+	base := 0.0
+	basePw := 0.0
+	if gi > 0 {
+		base = ev.endOps[gi-1]
+		basePw = ev.endPeakW[gi-1]
+	}
+	prevOps := base + float64(j-1)*ev.gOps[gi]
+	return basePw + float64(j-1)*ev.gPeakW[gi] +
+		ev.groups[gi].P.PowerAt((demandOps-prevOps)/ev.gOps[gi]) +
+		(ev.suffixIdleW(k) - ev.suffixIdleW(active))
 }
 
 // Member returns the i'th member in pack order.
-func (ev *Evaluator) Member(i int) *placement.Profile { return ev.members[i] }
+func (ev *Evaluator) Member(i int) *placement.Profile {
+	if i < 0 || i >= ev.n {
+		panic("cluster: member index out of range")
+	}
+	return ev.groups[ev.groupOf(i)].P
+}
 
 // Comparison evaluates every policy over the same members.
 type Comparison struct {

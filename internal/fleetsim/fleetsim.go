@@ -70,6 +70,12 @@ type LatencyConfig struct {
 type Config struct {
 	// Members is the composed fleet, in pack order.
 	Members []*placement.Profile
+	// Groups optionally gives the fleet as homogeneous (model, count)
+	// runs instead of an expanded member list — the composition
+	// optimizer replays candidate fleets this way without materializing
+	// per-server slices. Exactly one of Members and Groups may be set;
+	// the result is bit-identical to simulating the expanded list.
+	Groups []placement.Group
 	// Policy is the load-distribution policy. PolicyPackPowerOff is
 	// the managed policy — the active set follows demand through the
 	// power model; the others keep every server on. The perf target
@@ -98,7 +104,7 @@ type StepStats struct {
 	DemandOps, ServedOps, UnservedOps float64
 	// Active is the powered-on server count; PoweredOn/PoweredOff are
 	// this step's transitions.
-	Active               int
+	Active                int
 	PoweredOn, PoweredOff int
 	// PowerWatts is the fleet draw while serving; TransitionJ the
 	// transition energy booked this step; EnergyJ the interval total
@@ -108,7 +114,7 @@ type StepStats struct {
 	EnergyJ     float64
 	// Sampled reports whether this step ran a workload latency
 	// interval; the percentiles are batch response times in seconds.
-	Sampled                             bool
+	Sampled                            bool
 	LatencyP50, LatencyP95, LatencyP99 float64
 }
 
@@ -137,7 +143,7 @@ type Result struct {
 	PoweredOn, PoweredOff int
 
 	// Latency aggregates over the sampled intervals.
-	LatencySamples                             int
+	LatencySamples                              int
 	AvgLatencyP50, AvgLatencyP95, AvgLatencyP99 float64
 	MaxLatencyP99                               float64
 }
@@ -161,6 +167,12 @@ func validate(cfg *Config) (*cluster.Evaluator, error) {
 	}
 	if cfg.Latency.Every < 0 {
 		return nil, fmt.Errorf("fleetsim: latency sample period %d", cfg.Latency.Every)
+	}
+	if len(cfg.Groups) > 0 {
+		if len(cfg.Members) > 0 {
+			return nil, errors.New("fleetsim: set Members or Groups, not both")
+		}
+		return cluster.NewGroupedEvaluator(cfg.Groups, cfg.Policy)
 	}
 	return cluster.NewEvaluator(cfg.Members, cfg.Policy)
 }
@@ -188,9 +200,9 @@ type segPartial struct {
 	minActive, maxActive int
 	onN, offN            int
 
-	latCount                  int
-	latP50, latP95, latP99    float64
-	latP99Max                 float64
+	latCount               int
+	latP50, latP95, latP99 float64
+	latP99Max              float64
 
 	steps []StepStats // populated only when a Sink drains them
 }

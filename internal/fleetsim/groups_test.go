@@ -1,0 +1,79 @@
+package fleetsim
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/placement"
+)
+
+// TestRunGroupsMatchesMembers pins the grouped fleet input bit-
+// identical to simulating the expanded member list: the grouped
+// evaluator shares its closed-form arithmetic with the expanded one,
+// so every step statistic and the summary must agree exactly.
+func TestRunGroupsMatchesMembers(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	groups := make([]placement.Group, 4)
+	var members []*placement.Profile
+	for i := range groups {
+		groups[i] = placement.Group{P: testProfile(t, rng, "model"), Count: 1 + rng.Intn(6)}
+		for j := 0; j < groups[i].Count; j++ {
+			members = append(members, groups[i].P)
+		}
+	}
+	var capacity float64
+	for _, m := range members {
+		capacity += m.MaxOps
+	}
+	tr := testTrace(rng, 500, capacity)
+	for _, policy := range cluster.AllPolicies() {
+		base := Config{
+			Policy: policy,
+			Trace:  tr,
+			Power:  PowerConfig{OnSeconds: 90, OffSeconds: 30, HysteresisSteps: 5, HeadroomFrac: 0.1},
+			Seed:   9,
+		}
+		expCfg := base
+		expCfg.Members = members
+		var expSteps []StepStats
+		expCfg.Sink = func(s StepStats) error { expSteps = append(expSteps, s); return nil }
+		want, err := Run(expCfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		grpCfg := base
+		grpCfg.Groups = groups
+		i := 0
+		grpCfg.Sink = func(s StepStats) error {
+			if s != expSteps[i] {
+				t.Fatalf("%v: step %d diverges: %+v vs %+v", policy, i, s, expSteps[i])
+			}
+			i++
+			return nil
+		}
+		got, err := Run(grpCfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("%v: grouped result diverges:\n got %+v\nwant %+v", policy, got, want)
+		}
+	}
+}
+
+// TestConfigRejectsMembersAndGroups covers the exclusive-input edge.
+func TestConfigRejectsMembersAndGroups(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	p := testProfile(t, rng, "m")
+	tr := testTrace(rng, 10, p.MaxOps)
+	_, err := Run(Config{
+		Members: []*placement.Profile{p},
+		Groups:  []placement.Group{{P: p, Count: 1}},
+		Policy:  cluster.PolicyPack,
+		Trace:   tr,
+	})
+	if err == nil {
+		t.Fatal("Members+Groups accepted")
+	}
+}

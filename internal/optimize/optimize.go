@@ -1,0 +1,685 @@
+package optimize
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/cluster"
+	"repro/internal/fleetsim"
+	"repro/internal/par"
+	"repro/internal/placement"
+	"repro/internal/trace"
+)
+
+// Config describes one composition search.
+type Config struct {
+	// Models is the composition alphabet: the distinct server models a
+	// candidate fleet may mix. Order defines the candidate encoding and
+	// the deterministic tie-break, so keep it stable across runs.
+	Models []*placement.Profile
+	// Trace is the demand the fleet must serve. A candidate is feasible
+	// when its capacity covers the exact trace peak.
+	Trace *trace.Trace
+	// Policies crosses the count space with pack policies; nil means
+	// all four.
+	Policies []cluster.Policy
+	// Objective selects and prices the minimization target; the zero
+	// value minimizes facility energy at PUE 1.
+	Objective Objective
+	// MaxPerModel bounds the per-model server count (0 = 16);
+	// CountStep is the count granularity (0 = 1).
+	MaxPerModel, CountStep int
+	// Bins is the demand-histogram resolution (0 = 128).
+	Bins int
+	// TopK is the shortlist replayed exactly through fleetsim (0 = 5).
+	TopK int
+	// Power prices the exact replay's transitions and hysteresis.
+	Power fleetsim.PowerConfig
+	// Seed derives the beam restarts' branch seeds and the replay seed.
+	Seed int64
+	// ExhaustiveLimit is the largest space enumerated fully
+	// (0 = 100000); larger spaces run the beam search.
+	ExhaustiveLimit int64
+	// BeamWidth, BeamRounds and Restarts shape the beam search
+	// (0 = 24, 40, 6).
+	BeamWidth, BeamRounds, Restarts int
+	// DisablePruning scores every feasible candidate — the reference
+	// mode pruning is validated against, and the "naive" half of the
+	// benchmark.
+	DisablePruning bool
+}
+
+// Candidate is one scored fleet composition.
+type Candidate struct {
+	// ID is the candidate's position in enumeration order — the
+	// deterministic tie-break key.
+	ID int64
+	// Counts has one server count per Config.Models entry.
+	Counts []int
+	Policy cluster.Policy
+	// Servers and CapacityOps size the composition.
+	Servers     int
+	CapacityOps float64
+	// EnergyKWh and Objective are the histogram (steady-state) IT
+	// energy and its priced objective value.
+	EnergyKWh, Objective float64
+	// ExactEnergyKWh and ExactObjective are set after fleetsim replay
+	// (transition energy, hysteresis); Exact reports whether they are.
+	ExactEnergyKWh, ExactObjective float64
+	Exact                          bool
+}
+
+// Result is the outcome of a composition search.
+type Result struct {
+	// Best is the optimum: the top-k shortlist re-ranked by exact
+	// replay objective, ties broken by candidate ID.
+	Best Candidate
+	// TopK is the exact-replayed shortlist in final rank order. With
+	// pruning enabled it is identical to the unpruned shortlist: the
+	// pruning bound is the k-th best incumbent, so no member of the
+	// true top-k can be pruned.
+	TopK []Candidate
+	// SpaceSize counts the full candidate grid (count combinations ×
+	// policies), saturating at math.MaxInt64.
+	SpaceSize int64
+	// Evaluated, Pruned and Infeasible partition the visited
+	// candidates; Exhaustive reports full enumeration (vs beam).
+	Evaluated, Pruned, Infeasible int64
+	Exhaustive                    bool
+	// Bins is the histogram resolution used for scoring.
+	Bins int
+}
+
+// searchSegment is the fixed candidate-segment size the exhaustive
+// scan shards on. Like fleetsim's trace segments it is a constant,
+// never derived from the worker count, so per-segment tallies and
+// top-k merges are byte-identical at any parallelism.
+const searchSegment = 2048
+
+// space captures the validated, precomputed search space.
+type space struct {
+	cfg      Config
+	models   []*placement.Profile
+	policies []cluster.Policy
+	hist     *trace.Hist
+	rate     float64
+	// countOf maps a digit to a server count; radix is the digit count.
+	step, radix int
+	// perOps is each model's capacity; lbEE / lbIdleW are the
+	// admissible-bound ingredients: the model's best efficiency and
+	// minimum power over the measured knots.
+	perOps, lbEE, lbIdleW []float64
+	size                  int64
+	topK                  int
+}
+
+// OptimizeComposition searches fleet-composition space for the
+// candidate minimizing the objective over the demand trace. Small
+// spaces (≤ ExhaustiveLimit) are enumerated exhaustively; larger ones
+// run a deterministic multi-restart beam search with derived
+// per-branch seeds. Either way the result is byte-identical at any
+// worker count.
+func OptimizeComposition(cfg Config) (Result, error) {
+	sp, err := newSpace(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	res := Result{SpaceSize: sp.size, Bins: len(sp.hist.BinOps)}
+
+	// Incumbent phase: minimal feasible homogeneous fleets seed the
+	// pruning bound. The bound is the k-th best incumbent objective, so
+	// a pruned candidate (lower bound above it) can never displace any
+	// member of the true top-k.
+	incumbents := sp.incumbents()
+	evaluated := make([]Candidate, 0, len(incumbents))
+	for _, id := range incumbents {
+		if c, ok := sp.score(id); ok {
+			evaluated = append(evaluated, c)
+		}
+	}
+	bound := math.Inf(1)
+	if !cfg.DisablePruning && len(evaluated) > 0 {
+		objs := make([]float64, len(evaluated))
+		for i, c := range evaluated {
+			objs[i] = c.Objective
+		}
+		sort.Float64s(objs)
+		kth := sp.topK
+		if kth > len(objs) {
+			kth = len(objs)
+		}
+		bound = objs[kth-1]
+	}
+
+	var top []Candidate
+	for _, c := range evaluated {
+		top = pushTop(top, c, sp.topK)
+	}
+	res.Evaluated = int64(len(evaluated))
+
+	if sp.size <= sp.exhaustiveLimit() {
+		res.Exhaustive = true
+		segs := int((sp.size + searchSegment - 1) / searchSegment)
+		parts := par.Map(segs, func(si int) segResult {
+			return sp.scanSegment(int64(si)*searchSegment, bound)
+		})
+		for _, p := range parts {
+			for _, c := range p.top {
+				top = pushTop(top, c, sp.topK)
+			}
+			res.Evaluated += p.evaluated
+			res.Pruned += p.pruned
+			res.Infeasible += p.infeasible
+		}
+	} else {
+		beamTop, stats := sp.beam(evaluated, bound)
+		for _, c := range beamTop {
+			top = pushTop(top, c, sp.topK)
+		}
+		res.Evaluated += stats.evaluated
+		res.Pruned += stats.pruned
+		res.Infeasible += stats.infeasible
+	}
+
+	if len(top) == 0 {
+		return Result{}, errors.New("optimize: no feasible composition (raise MaxPerModel or shrink the trace peak)")
+	}
+
+	// Exact replay: the shortlist runs through fleetsim with the full
+	// trace, transition pricing and hysteresis, and the final ranking
+	// uses the exact objective.
+	replayed, err := par.MapErr(len(top), func(i int) (Candidate, error) {
+		return sp.replay(top[i])
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	sort.Slice(replayed, func(i, j int) bool {
+		if replayed[i].ExactObjective != replayed[j].ExactObjective {
+			return replayed[i].ExactObjective < replayed[j].ExactObjective
+		}
+		return replayed[i].ID < replayed[j].ID
+	})
+	res.TopK = replayed
+	res.Best = replayed[0]
+	return res, nil
+}
+
+func newSpace(cfg Config) (*space, error) {
+	if len(cfg.Models) == 0 {
+		return nil, errors.New("optimize: no models")
+	}
+	seen := make(map[*placement.Profile]bool, len(cfg.Models))
+	for _, m := range cfg.Models {
+		if m == nil {
+			return nil, errors.New("optimize: nil model")
+		}
+		if seen[m] {
+			return nil, fmt.Errorf("optimize: duplicate model %s", m.ID)
+		}
+		seen[m] = true
+	}
+	if err := cfg.Objective.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Trace == nil {
+		return nil, errors.New("optimize: no trace")
+	}
+	bins := cfg.Bins
+	if bins == 0 {
+		bins = 128
+	}
+	hist, err := cfg.Trace.Compress(bins)
+	if err != nil {
+		return nil, err
+	}
+	if hist.PeakOps <= 0 {
+		return nil, errors.New("optimize: trace has no demand")
+	}
+	step := cfg.CountStep
+	if step == 0 {
+		step = 1
+	}
+	maxPer := cfg.MaxPerModel
+	if maxPer == 0 {
+		maxPer = 16
+	}
+	if step < 1 || maxPer < step {
+		return nil, fmt.Errorf("optimize: invalid count grid (max %d, step %d)", maxPer, step)
+	}
+	policies := cfg.Policies
+	if len(policies) == 0 {
+		policies = cluster.AllPolicies()
+	}
+	for _, p := range policies {
+		switch p {
+		case cluster.PolicySpread, cluster.PolicyPack, cluster.PolicyPackPowerOff, cluster.PolicyOptimalRegion:
+		default:
+			return nil, fmt.Errorf("optimize: unknown policy %d", int(p))
+		}
+	}
+	topK := cfg.TopK
+	if topK == 0 {
+		topK = 5
+	}
+	if topK < 1 {
+		return nil, fmt.Errorf("optimize: invalid TopK %d", topK)
+	}
+	sp := &space{
+		cfg:      cfg,
+		models:   cfg.Models,
+		policies: policies,
+		hist:     hist,
+		rate:     cfg.Objective.rate(),
+		step:     step,
+		radix:    maxPer/step + 1,
+		topK:     topK,
+	}
+	sp.perOps = make([]float64, len(sp.models))
+	sp.lbEE = make([]float64, len(sp.models))
+	sp.lbIdleW = make([]float64, len(sp.models))
+	for i, m := range sp.models {
+		sp.perOps[i] = m.MaxOps
+		bestEE, minW := math.Inf(-1), math.Inf(1)
+		for _, pt := range m.Curve.Points() {
+			bestEE = math.Max(bestEE, m.EEAt(pt.Utilization))
+			minW = math.Min(minW, m.PowerAt(pt.Utilization))
+		}
+		bestEE = math.Max(bestEE, m.EEAt(0))
+		minW = math.Min(minW, m.PowerAt(0))
+		if bestEE <= 0 || math.IsInf(bestEE, 0) {
+			return nil, fmt.Errorf("optimize: model %s has no usable efficiency", m.ID)
+		}
+		sp.lbEE[i] = bestEE
+		sp.lbIdleW[i] = minW
+	}
+	// Space size saturates instead of overflowing.
+	sp.size = int64(len(sp.policies))
+	for range sp.models {
+		if sp.size > math.MaxInt64/int64(sp.radix) {
+			sp.size = math.MaxInt64
+			break
+		}
+		sp.size *= int64(sp.radix)
+	}
+	return sp, nil
+}
+
+func (sp *space) exhaustiveLimit() int64 {
+	if sp.cfg.ExhaustiveLimit != 0 {
+		return sp.cfg.ExhaustiveLimit
+	}
+	return 100000
+}
+
+// decode expands a candidate ID into per-model counts and a policy.
+// IDs enumerate policies fastest, then model counts in little-endian
+// mixed radix.
+func (sp *space) decode(id int64, counts []int) cluster.Policy {
+	p := sp.policies[id%int64(len(sp.policies))]
+	ci := id / int64(len(sp.policies))
+	for m := range sp.models {
+		counts[m] = int(ci%int64(sp.radix)) * sp.step
+		ci /= int64(sp.radix)
+	}
+	return p
+}
+
+// encode is decode's inverse.
+func (sp *space) encode(counts []int, policy cluster.Policy) int64 {
+	pi := 0
+	for i, p := range sp.policies {
+		if p == policy {
+			pi = i
+			break
+		}
+	}
+	ci := int64(0)
+	for m := len(counts) - 1; m >= 0; m-- {
+		ci = ci*int64(sp.radix) + int64(counts[m]/sp.step)
+	}
+	return ci*int64(len(sp.policies)) + int64(pi)
+}
+
+// capacity accumulates the candidate's throughput in model order —
+// the same closed-form chain the grouped evaluator builds, so the
+// feasibility gate and the evaluator agree bit-for-bit.
+func (sp *space) capacity(counts []int) float64 {
+	var cap float64
+	for m, c := range counts {
+		cap += float64(c) * sp.perOps[m]
+	}
+	return cap
+}
+
+// feasible requires the fleet to cover the exact trace peak: an
+// undersized fleet would "win" any energy objective by shedding load.
+func (sp *space) feasible(counts []int) bool {
+	n := 0
+	for _, c := range counts {
+		n += c
+	}
+	return n > 0 && sp.capacity(counts) >= sp.hist.PeakOps
+}
+
+// lowerBound is the admissible bound: at every histogram bin the fleet
+// draws at least served/bestEE (nobody converts watts to ops better
+// than the best model's peak efficiency) and, for policies that keep
+// members powered, at least the fleet's minimum aggregate draw. Both
+// bounds hold knot-exactly for piecewise-linear curves; the 1e-9
+// haircut absorbs float rounding so a bound can never cross the score
+// it brackets.
+func (sp *space) lowerBound(counts []int, policy cluster.Policy) float64 {
+	bestEE := math.Inf(-1)
+	idleW := 0.0
+	for m, c := range counts {
+		if c == 0 {
+			continue
+		}
+		bestEE = math.Max(bestEE, sp.lbEE[m])
+		idleW += float64(c) * sp.lbIdleW[m]
+	}
+	if policy == cluster.PolicyPackPowerOff {
+		idleW = 0
+	}
+	cap := sp.capacity(counts)
+	var joules float64
+	for b, d := range sp.hist.BinOps {
+		served := math.Min(d, cap)
+		w := math.Max(served/bestEE, idleW)
+		joules += sp.hist.Weight[b] * w * sp.hist.StepSeconds
+	}
+	return sp.rate * (joules / 3.6e6) * (1 - 1e-9)
+}
+
+// score evaluates one candidate against the demand histogram: a
+// grouped evaluator over the multiset, one power evaluation per bin.
+// Returns ok=false for infeasible candidates.
+func (sp *space) score(id int64) (Candidate, bool) {
+	counts := make([]int, len(sp.models))
+	policy := sp.decode(id, counts)
+	if !sp.feasible(counts) {
+		return Candidate{}, false
+	}
+	groups := make([]placement.Group, 0, len(sp.models))
+	servers := 0
+	for m, c := range counts {
+		if c > 0 {
+			groups = append(groups, placement.Group{P: sp.models[m], Count: c})
+			servers += c
+		}
+	}
+	ev, err := cluster.NewGroupedEvaluator(groups, policy)
+	if err != nil {
+		return Candidate{}, false
+	}
+	sc := ev.NewScratch()
+	var joules float64
+	for b, d := range sp.hist.BinOps {
+		joules += sp.hist.Weight[b] * ev.PowerAt(d, sc) * sp.hist.StepSeconds
+	}
+	kwh := joules / 3.6e6
+	return Candidate{
+		ID:          id,
+		Counts:      counts,
+		Policy:      policy,
+		Servers:     servers,
+		CapacityOps: ev.Capacity(),
+		EnergyKWh:   kwh,
+		Objective:   sp.rate * kwh,
+	}, true
+}
+
+// incumbents lists the minimal feasible homogeneous fleet of every
+// model under every policy — cheap, deterministic seeds for the
+// pruning bound and the beam frontier.
+func (sp *space) incumbents() []int64 {
+	var ids []int64
+	counts := make([]int, len(sp.models))
+	for m := range sp.models {
+		// Smallest grid count whose capacity covers the peak.
+		need := 0
+		for mult := 1; mult < sp.radix; mult++ {
+			c := mult * sp.step
+			if float64(c)*sp.perOps[m] >= sp.hist.PeakOps {
+				need = c
+				break
+			}
+		}
+		if need == 0 {
+			continue
+		}
+		for i := range counts {
+			counts[i] = 0
+		}
+		counts[m] = need
+		for _, policy := range sp.policies {
+			ids = append(ids, sp.encode(counts, policy))
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// segResult is one candidate segment's contribution.
+type segResult struct {
+	top                           []Candidate
+	evaluated, pruned, infeasible int64
+}
+
+// scanSegment enumerates candidates [lo, lo+searchSegment) — feasible
+// candidates whose lower bound clears the pruning bound are scored;
+// the rest are counted. Everything in a segment depends only on the
+// segment's own IDs and the fixed bound, so segments are
+// order-independent.
+func (sp *space) scanSegment(lo int64, bound float64) segResult {
+	hi := lo + searchSegment
+	if hi > sp.size {
+		hi = sp.size
+	}
+	var r segResult
+	counts := make([]int, len(sp.models))
+	for id := lo; id < hi; id++ {
+		policy := sp.decode(id, counts)
+		if !sp.feasible(counts) {
+			r.infeasible++
+			continue
+		}
+		if !sp.cfg.DisablePruning && sp.lowerBound(counts, policy) > bound {
+			r.pruned++
+			continue
+		}
+		if c, ok := sp.score(id); ok {
+			r.top = pushTop(r.top, c, sp.topK)
+			r.evaluated++
+		}
+	}
+	return r
+}
+
+// pushTop inserts c into the (objective, id)-ordered shortlist,
+// keeping at most k entries. Duplicate IDs collapse.
+func pushTop(top []Candidate, c Candidate, k int) []Candidate {
+	pos := sort.Search(len(top), func(i int) bool {
+		if top[i].Objective != c.Objective {
+			return top[i].Objective > c.Objective
+		}
+		return top[i].ID >= c.ID
+	})
+	if pos < len(top) && top[pos].ID == c.ID {
+		return top
+	}
+	if pos >= k {
+		return top
+	}
+	top = append(top, Candidate{})
+	copy(top[pos+1:], top[pos:])
+	top[pos] = c
+	if len(top) > k {
+		top = top[:k]
+	}
+	return top
+}
+
+// replay runs the candidate through the full fleet simulation and
+// prices the exact energy.
+func (sp *space) replay(c Candidate) (Candidate, error) {
+	groups := make([]placement.Group, 0, len(c.Counts))
+	for m, n := range c.Counts {
+		if n > 0 {
+			groups = append(groups, placement.Group{P: sp.models[m], Count: n})
+		}
+	}
+	res, err := fleetsim.Run(fleetsim.Config{
+		Groups: groups,
+		Policy: c.Policy,
+		Trace:  sp.cfg.Trace,
+		Power:  sp.cfg.Power,
+		Seed:   sp.cfg.Seed,
+	})
+	if err != nil {
+		return Candidate{}, err
+	}
+	c.ExactEnergyKWh = res.EnergyKWh
+	c.ExactObjective = sp.rate * res.EnergyKWh
+	c.Exact = true
+	return c, nil
+}
+
+// beamStats tallies a beam search.
+type beamStats struct {
+	evaluated, pruned, infeasible int64
+}
+
+// beam runs the deterministic multi-restart local search used when the
+// space exceeds ExhaustiveLimit. Every restart draws its own branch
+// seed derived from Config.Seed; the frontier, neighbor generation and
+// evaluation order are functions of the candidate IDs alone, so the
+// search visits an identical candidate sequence at any worker count.
+func (sp *space) beam(seeds []Candidate, bound float64) ([]Candidate, beamStats) {
+	width := sp.cfg.BeamWidth
+	if width == 0 {
+		width = 24
+	}
+	rounds := sp.cfg.BeamRounds
+	if rounds == 0 {
+		rounds = 40
+	}
+	restarts := sp.cfg.Restarts
+	if restarts == 0 {
+		restarts = 6
+	}
+	var stats beamStats
+	seen := make(map[int64]bool)
+	var top []Candidate
+	frontier := make([]Candidate, 0, width)
+	for _, c := range seeds {
+		seen[c.ID] = true
+		top = pushTop(top, c, sp.topK)
+		frontier = pushTop(frontier, c, width)
+	}
+
+	// Random restarts: feasible compositions drawn from per-restart
+	// branch RNGs join the initial frontier.
+	counts := make([]int, len(sp.models))
+	var restartIDs []int64
+	for r := 0; r < restarts; r++ {
+		// branchMix is 0x9E3779B97F4A7C15 (the splitmix64 increment) as
+		// a two's-complement int64.
+		const branchMix = int64(-7046029254386353131)
+		rng := rand.New(rand.NewSource(sp.cfg.Seed ^ (int64(r+1) * branchMix)))
+		for try := 0; try < 64; try++ {
+			for m := range counts {
+				counts[m] = rng.Intn(sp.radix) * sp.step
+			}
+			if !sp.feasible(counts) {
+				continue
+			}
+			id := sp.encode(counts, sp.policies[rng.Intn(len(sp.policies))])
+			if !seen[id] {
+				seen[id] = true
+				restartIDs = append(restartIDs, id)
+			}
+			break
+		}
+	}
+	evalBatch := func(ids []int64) {
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		cands := par.Map(len(ids), func(i int) *Candidate {
+			cs := make([]int, len(sp.models))
+			policy := sp.decode(ids[i], cs)
+			if !sp.feasible(cs) {
+				return nil
+			}
+			if !sp.cfg.DisablePruning && sp.lowerBound(cs, policy) > bound {
+				return &Candidate{ID: -1}
+			}
+			if c, ok := sp.score(ids[i]); ok {
+				return &c
+			}
+			return nil
+		})
+		for _, c := range cands {
+			switch {
+			case c == nil:
+				stats.infeasible++
+			case c.ID < 0:
+				stats.pruned++
+			default:
+				stats.evaluated++
+				top = pushTop(top, *c, sp.topK)
+				frontier = pushTop(frontier, *c, width)
+			}
+		}
+	}
+	evalBatch(restartIDs)
+
+	counts2 := make([]int, len(sp.models))
+	for round := 0; round < rounds; round++ {
+		var next []int64
+		for _, c := range frontier {
+			sp.decode(c.ID, counts)
+			// Neighbors: one count up or down per model, and every other
+			// policy at the same counts.
+			for m := range counts {
+				for _, delta := range []int{sp.step, -sp.step} {
+					copy(counts2, counts)
+					counts2[m] += delta
+					if counts2[m] < 0 || counts2[m] > (sp.radix-1)*sp.step {
+						continue
+					}
+					id := sp.encode(counts2, c.Policy)
+					if !seen[id] {
+						seen[id] = true
+						next = append(next, id)
+					}
+				}
+			}
+			for _, policy := range sp.policies {
+				if policy == c.Policy {
+					continue
+				}
+				id := sp.encode(counts, policy)
+				if !seen[id] {
+					seen[id] = true
+					next = append(next, id)
+				}
+			}
+		}
+		if len(next) == 0 {
+			break
+		}
+		evalBatch(next)
+		// The bound tightens between rounds — never within one, so a
+		// round's outcome is independent of evaluation order.
+		if !sp.cfg.DisablePruning && len(top) >= sp.topK {
+			if b := top[len(top)-1].Objective; b < bound {
+				bound = b
+			}
+		}
+	}
+	return top, stats
+}

@@ -324,41 +324,157 @@ func EngageOrder(profiles []*Profile) []*Profile {
 	return order
 }
 
-// ProportionalFill computes the proportional-placement utilizations for
-// demandOps over a fleet already in engage order, writing them into
-// util (which must have len(order)), and returns the unsatisfied
-// remainder. It is the allocation-free core of PlaceProportional.
-func ProportionalFill(order []*Profile, demandOps float64, util []float64) float64 {
-	for i := range util {
-		util[i] = 0
+// Group is a homogeneous run: Count servers sharing one profile. The
+// grouped fill and the cluster evaluators collapse per-member work
+// over a run into closed-form count × per-model terms, so evaluating a
+// fleet costs O(models) instead of O(servers).
+type Group struct {
+	P     *Profile
+	Count int
+}
+
+// GroupFill is one group's share of a grouped proportional fill. The
+// group's members split into at most three tiers in engage order: Hi
+// members at HiUtil, then at most one partially loaded member at
+// MidUtil, then Lo members at LoUtil. Hi+Mid+Lo == Count.
+type GroupFill struct {
+	Hi      int
+	HiUtil  float64
+	Mid     int
+	MidUtil float64
+	Lo      int
+	LoUtil  float64
+}
+
+// EngageOrderGroups is the grouped form of EngageOrder: groups sorted
+// in descending optimal-point efficiency. The sort is stable, so
+// expanding the result reproduces EngageOrder on the expanded fleet
+// (runs stay contiguous and ties keep input order).
+func EngageOrderGroups(groups []Group) []Group {
+	order := append([]Group(nil), groups...)
+	sort.SliceStable(order, func(i, j int) bool { return order[i].P.OptimalEE() > order[j].P.OptimalEE() })
+	return order
+}
+
+// splitRun returns the smallest j in [0, count] at which one more
+// per-member take of size per covers the closed-form remainder
+// remaining - float64(j)*per. The remainder is non-increasing in j, so
+// binary search applies and a run of any size costs O(log count).
+func splitRun(remaining, per float64, count int) int {
+	lo, hi := 0, count
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if per >= remaining-float64(mid)*per {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// FillGroups is the grouped core of ProportionalFill: it computes the
+// proportional-placement tiers for demandOps over groups already in
+// engage order, writing one GroupFill per group into fill (which must
+// have len(order)), and returns the unsatisfied remainder. Within a
+// run, member-at-a-time remainder updates collapse to the closed form
+// remaining - float64(j)*perMember; for runs of one server the
+// arithmetic is bit-for-bit the member scan's, which is what lets the
+// grouped cluster evaluator pin Float64bits-identical results against
+// the expanded fleet.
+func FillGroups(order []Group, demandOps float64, fill []GroupFill) float64 {
+	for i := range fill {
+		fill[i] = GroupFill{Lo: order[i].Count}
 	}
 	remaining := demandOps
-	for i, s := range order {
+	for i, g := range order {
 		if remaining <= 0 {
 			break
 		}
-		target := math.Min(s.OptimalUtilization, s.maxUtil())
-		ops := s.OpsAt(target)
-		if ops >= remaining {
-			util[i] = remaining / s.MaxOps
-			remaining = 0
-			break
+		target := math.Min(g.P.OptimalUtilization, g.P.maxUtil())
+		ops := g.P.OpsAt(target)
+		j := splitRun(remaining, ops, g.Count)
+		if j == g.Count {
+			fill[i] = GroupFill{Hi: g.Count, HiUtil: target}
+			remaining -= float64(g.Count) * ops
+			continue
 		}
-		util[i] = target
-		remaining -= ops
+		fill[i] = GroupFill{
+			Hi: j, HiUtil: target,
+			Mid: 1, MidUtil: (remaining - float64(j)*ops) / g.P.MaxOps,
+			Lo: g.Count - j - 1,
+		}
+		remaining = 0
+		break
 	}
-	// Top up toward each server's cap when demand requires it.
-	for i, s := range order {
+	// Top up toward each group's cap when demand requires it. Reaching
+	// here with remaining > 0 means every member sits exactly at its
+	// engage target (a partial member would have zeroed the remainder).
+	for i, g := range order {
 		if remaining <= 0 {
 			break
 		}
-		head := s.CappedOps() - s.OpsAt(util[i])
+		base := fill[i].HiUtil
+		head := g.P.CappedOps() - g.P.OpsAt(base)
 		if head <= 0 {
 			continue
 		}
-		take := math.Min(head, remaining)
-		util[i] += take / s.MaxOps
-		remaining -= take
+		j := splitRun(remaining, head, g.Count)
+		if j == g.Count {
+			fill[i] = GroupFill{Hi: g.Count, HiUtil: base + head/g.P.MaxOps}
+			remaining -= float64(g.Count) * head
+			continue
+		}
+		take := remaining - float64(j)*head
+		fill[i] = GroupFill{
+			Hi: j, HiUtil: base + head/g.P.MaxOps,
+			Mid: 1, MidUtil: base + take/g.P.MaxOps,
+			Lo: g.Count - j - 1, LoUtil: base,
+		}
+		remaining = 0
+	}
+	return remaining
+}
+
+// GroupRuns coalesces an ordered member list into maximal runs of
+// identical profiles (pointer equality). An all-distinct fleet yields
+// one group per member.
+func GroupRuns(order []*Profile) []Group {
+	var groups []Group
+	for _, p := range order {
+		if n := len(groups); n > 0 && groups[n-1].P == p {
+			groups[n-1].Count++
+			continue
+		}
+		groups = append(groups, Group{P: p, Count: 1})
+	}
+	return groups
+}
+
+// ProportionalFill computes the proportional-placement utilizations for
+// demandOps over a fleet already in engage order, writing them into
+// util (which must have len(order)), and returns the unsatisfied
+// remainder. It runs FillGroups over the fleet's runs and expands the
+// tiers back to per-member utilizations, so replicated fleets cost
+// O(runs·log run) instead of O(servers).
+func ProportionalFill(order []*Profile, demandOps float64, util []float64) float64 {
+	groups := GroupRuns(order)
+	fill := make([]GroupFill, len(groups))
+	remaining := FillGroups(groups, demandOps, fill)
+	i := 0
+	for _, f := range fill {
+		for j := 0; j < f.Hi; j++ {
+			util[i] = f.HiUtil
+			i++
+		}
+		if f.Mid > 0 {
+			util[i] = f.MidUtil
+			i++
+		}
+		for j := 0; j < f.Lo; j++ {
+			util[i] = f.LoUtil
+			i++
+		}
 	}
 	return remaining
 }

@@ -31,8 +31,11 @@ type Bill struct {
 	KgCO2 float64
 }
 
-// Cost converts a replay result into a bill under the tariff.
-func Cost(res ReplayResult, t Tariff) (Bill, error) {
+// BillOf prices raw IT energy under the tariff: facility energy via
+// PUE, then cost and carbon at the tariff's rates. It is the shared
+// pricing kernel behind Cost, the simulators' -price/-carbon flags,
+// and the composition optimizer's objective.
+func (t Tariff) BillOf(energyKWh float64) (Bill, error) {
 	if t.USDPerKWh < 0 || t.KgCO2PerKWh < 0 {
 		return Bill{}, fmt.Errorf("trace: negative tariff %+v", t)
 	}
@@ -43,12 +46,17 @@ func Cost(res ReplayResult, t Tariff) (Bill, error) {
 	if pue < 1 {
 		return Bill{}, fmt.Errorf("trace: PUE %v below 1", pue)
 	}
-	facility := res.EnergyKWh * pue
+	facility := energyKWh * pue
 	return Bill{
 		FacilityKWh: facility,
 		USD:         facility * t.USDPerKWh,
 		KgCO2:       facility * t.KgCO2PerKWh,
 	}, nil
+}
+
+// Cost converts a replay result into a bill under the tariff.
+func Cost(res ReplayResult, t Tariff) (Bill, error) {
+	return t.BillOf(res.EnergyKWh)
 }
 
 // AnnualizedBill scales a bill measured over traceDays to a 365-day

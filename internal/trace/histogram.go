@@ -1,0 +1,98 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+)
+
+// Hist is a demand trace folded into a weighted demand histogram: the
+// trace compression layer of the composition optimizer. Steady-state
+// fleet power is a function of instantaneous demand only, so scoring a
+// candidate fleet against the trace needs one power evaluation per
+// occupied bin instead of one per step — O(bins) instead of O(steps),
+// ~70× fewer evaluations for a 1-minute week at 128 bins.
+//
+// Each occupied bin carries the MEAN demand of the steps that landed
+// in it (not the bin center), so the histogram preserves the trace's
+// total offered load exactly and the energy estimate is exact for any
+// fleet whose power curve is linear across each bin's demand span.
+// The residual error for piecewise-linear fleets is bounded by the
+// curvature across one bin width and shrinks as bins grow (see
+// TestHistogramErrorShrinksWithBins); exact transition/hysteresis
+// accounting is deliberately out of scope — the optimizer replays its
+// top-k candidates through fleetsim for that.
+type Hist struct {
+	// StepSeconds is the sampling period of the folded trace.
+	StepSeconds float64
+	// Steps is the total number of trace steps (the sum of Weight).
+	Steps int
+	// BinOps is the mean demand of each occupied bin, ascending.
+	BinOps []float64
+	// Weight is the step count of each occupied bin.
+	Weight []float64
+	// PeakOps and MinOps are the exact trace extremes — feasibility
+	// checks (capacity ≥ peak) must not depend on bin resolution.
+	PeakOps, MinOps float64
+	// MeanOps is the exact trace mean.
+	MeanOps float64
+}
+
+// Duration returns the folded trace length in seconds.
+func (h *Hist) Duration() float64 {
+	return h.StepSeconds * float64(h.Steps)
+}
+
+// Compress folds the trace into a demand histogram with at most bins
+// equi-width bins over [min, max] demand. Empty bins are dropped. The
+// fold is a single deterministic pass; identical traces produce
+// identical histograms.
+func (t *Trace) Compress(bins int) (*Hist, error) {
+	if bins < 1 {
+		return nil, fmt.Errorf("trace: invalid bin count %d", bins)
+	}
+	if len(t.DemandOps) == 0 {
+		return nil, fmt.Errorf("trace: empty trace")
+	}
+	if t.StepSeconds <= 0 {
+		return nil, fmt.Errorf("trace: invalid step %v s", t.StepSeconds)
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, d := range t.DemandOps {
+		if math.IsNaN(d) || math.IsInf(d, 0) {
+			return nil, fmt.Errorf("trace: non-finite demand %v", d)
+		}
+		lo = math.Min(lo, d)
+		hi = math.Max(hi, d)
+	}
+	width := (hi - lo) / float64(bins)
+	sum := make([]float64, bins)
+	count := make([]float64, bins)
+	var total float64
+	for _, d := range t.DemandOps {
+		b := 0
+		if width > 0 {
+			b = int((d - lo) / width)
+			if b >= bins {
+				b = bins - 1
+			}
+		}
+		sum[b] += d
+		count[b]++
+		total += d
+	}
+	h := &Hist{
+		StepSeconds: t.StepSeconds,
+		Steps:       len(t.DemandOps),
+		PeakOps:     hi,
+		MinOps:      lo,
+		MeanOps:     total / float64(len(t.DemandOps)),
+	}
+	for b := 0; b < bins; b++ {
+		if count[b] == 0 {
+			continue
+		}
+		h.BinOps = append(h.BinOps, sum[b]/count[b])
+		h.Weight = append(h.Weight, count[b])
+	}
+	return h, nil
+}
