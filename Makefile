@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build vet test race bench fleetbench colbench simbench optbench report report-html verify calibrate fuzz serve selftest examples clean
+.PHONY: all check build vet test race bench fleetbench colbench simbench optbench servebench report report-html verify calibrate fuzz serve selftest examples clean
 
 all: check
 
@@ -55,6 +55,12 @@ simbench:
 # before/after matrix).
 optbench:
 	$(GO) test -run '^$$' -bench 'BenchmarkOptimize' -benchtime 1x ./internal/optimize
+
+# Serving-layer smoke: one iteration of the /metrics scrape and keyed
+# workspace benchmarks (BenchmarkMetricsScrapeWarm must stay <= 1 ms
+# per op warm; see BENCH_serve.json for the recorded matrix).
+servebench:
+	$(GO) test -run '^$$' -bench 'BenchmarkMetrics|BenchmarkKeyed' -benchtime 1x ./internal/serve
 
 # The full evaluation section as text / standalone HTML.
 report:

@@ -9,6 +9,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/fleetsim"
+	"repro/internal/metrics"
 	"repro/internal/optimize"
 	"repro/internal/par"
 	"repro/internal/placement"
@@ -356,6 +357,10 @@ type (
 	// repository, validated subset, seed, report options, and the
 	// byte-level response cache rendered from them.
 	ServeSnapshot = serve.Snapshot
+	// ServeKey addresses one keyed scenario in the server's
+	// multi-corpus workspace: a synthesis seed, optionally with a
+	// fleet size.
+	ServeKey = serve.Key
 )
 
 // NewServer builds the HTTP server behind cmd/specserved: the report,
@@ -365,6 +370,31 @@ type (
 // srv.Handler() into http.ListenAndServe; srv.Reload atomically swaps
 // in a new corpus seed without blocking readers.
 func NewServer(cfg ServeConfig) (*serve.Server, error) { return serve.New(cfg) }
+
+// OpenMetrics text exposition (internal/metrics).
+type (
+	// MetricsFamily is one metric family: name, help, type and samples.
+	MetricsFamily = metrics.Family
+	// MetricsSample is one labeled sample within a family.
+	MetricsSample = metrics.Sample
+	// MetricsLabel is one label pair on a sample.
+	MetricsLabel = metrics.Label
+	// MetricsType distinguishes gauge from counter families.
+	MetricsType = metrics.Type
+)
+
+// MetricsContentType is the Content-Type of the OpenMetrics 1.0 text
+// exposition served on /metrics.
+const MetricsContentType = metrics.ContentType
+
+// WriteOpenMetrics renders families as canonical OpenMetrics 1.0 text:
+// families, samples and labels sorted, metadata before samples, `# EOF`
+// terminated. Output is byte-deterministic for a given sample set.
+func WriteOpenMetrics(w io.Writer, fams []MetricsFamily) error { return metrics.Write(w, fams) }
+
+// ParseOpenMetrics parses — and strictly lints — an OpenMetrics 1.0
+// text exposition, returning the families in document order.
+func ParseOpenMetrics(data []byte) ([]MetricsFamily, error) { return metrics.Parse(data) }
 
 // Cluster-wide proportionality (internal/cluster).
 type (

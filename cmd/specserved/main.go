@@ -6,9 +6,16 @@
 // revalidation and gzip variants; POST /api/v1/reload swaps in a new
 // corpus seed atomically without blocking readers.
 //
+// Synthetic servers also serve keyed scenarios: ?seed=N&servers=M on
+// any cached endpoint addresses a generated corpus held in an
+// LRU-bounded workspace (loads coalesce; evicted scenarios reload
+// byte-identically). GET /metrics exposes corpus-, fleet- and
+// serve-level gauges and counters as OpenMetrics, one corpus label per
+// resident scenario.
+//
 // Usage:
 //
-//	specserved [-addr :8080] [-seed N] [-in FILE] [-no-sweeps] [-sweep-seconds S] [-workers N]
+//	specserved [-addr :8080] [-seed N] [-in FILE] [-no-sweeps] [-sweep-seconds S] [-workers N] [-workspace N]
 //	specserved -selftest [-no-sweeps]   # smoke-check + load benchmark over a local listener
 //
 // Endpoints:
@@ -21,7 +28,11 @@
 //	GET  /api/v1/servers?year=YYYY&arch=NAME
 //	GET  /api/v1/summary
 //	POST /api/v1/reload?seed=N
+//	GET  /metrics                             (OpenMetrics exposition)
 //	GET  /debug/stats
+//
+// Cached GET endpoints additionally accept ?seed=N and ?servers=M
+// (synthetic servers only) to address workspace scenarios.
 package main
 
 import (
@@ -30,11 +41,13 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
 	"repro/internal/cli"
 	"repro/internal/dataset"
+	"repro/internal/metrics"
 	"repro/internal/par"
 	"repro/internal/report"
 	"repro/internal/serve"
@@ -60,6 +73,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		noSweeps = fs.Bool("no-sweeps", false, "serve the report without the Fig. 18-21 hardware-sweep sections")
 		sweepSec = fs.Int("sweep-seconds", 30, "simulated measurement interval for report sweeps (SPEC default 240)")
 		workers  = fs.Int("workers", 0, "max parallel workers for renders (0 = all cores); output is identical at any count")
+		wsCap    = fs.Int("workspace", 0, "max resident keyed corpus scenarios (LRU-bounded; 0 = default 8)")
 		doVerify = fs.Bool("verify", false, "run the structural and metric paper invariants over the snapshot before serving; refuse to start on failure")
 		selftest = fs.Bool("selftest", false, "start on a loopback listener, verify the API, run the load benchmark, exit")
 		requests = fs.Int("selftest-requests", 2000, "requests per endpoint in the self-test load benchmark")
@@ -72,13 +86,16 @@ func run(args []string, stdout, stderr io.Writer) error {
 		defer par.SetMaxWorkers(par.SetMaxWorkers(*workers))
 	}
 
-	cfg := serve.Config{Seed: *seed, Sweeps: !*noSweeps, SweepSeconds: *sweepSec}
+	cfg := serve.Config{Seed: *seed, Sweeps: !*noSweeps, SweepSeconds: *sweepSec, WorkspaceCap: *wsCap}
 	if *in != "" {
 		rp, err := load(*in)
 		if err != nil {
 			return err
 		}
 		cfg.Repo = rp
+		// File-backed corpora carry their dataset name as the corpus
+		// label instead of the synthetic "seed=N".
+		cfg.CorpusName = filepath.Base(*in)
 	}
 	srv, err := serve.New(cfg)
 	if err != nil {
@@ -233,16 +250,42 @@ func selfTest(srv *serve.Server, synthetic bool, requests, clients int, out io.W
 	}
 	fmt.Fprintln(out, "reload: snapshot re-verified, pre-reload ETag still valid")
 
-	// 6. Load benchmark: warm-hit throughput on the heavy and light
-	// paths, plus the 304 revalidation path.
+	// 6. OpenMetrics: every scrape must lint (the strict internal
+	// parser is the openmetrics-lint equivalent), cover the corpus,
+	// fleet and serve family groups, and — once the per-snapshot gauges
+	// are memoized — answer warm in about a millisecond.
+	if err := checkScrape(srv, client, base, synthetic, out); err != nil {
+		return fmt.Errorf("selftest metrics: %w", err)
+	}
+
+	// 7. Load benchmark: warm-hit throughput on the heavy and light
+	// paths, the 304 revalidation path, the scrape path, and (on
+	// synthetic servers) a mixed-key workload spanning the default
+	// corpus, two workspace scenarios and the exposition.
 	fmt.Fprintf(out, "loadbench: %d requests x %d clients per endpoint\n", requests, clients)
+	lintScrape := func(status int, body []byte) error {
+		_, err := metrics.Parse(body)
+		return err
+	}
 	runs := []loadbench.Options{
 		{Path: "/api/v1/report", Requests: requests, Concurrency: clients},
 		{Path: "/api/v1/report", Requests: requests, Concurrency: clients,
 			Header: http.Header{"If-None-Match": {etag}}, WantStatus: http.StatusNotModified},
 		{Path: "/api/v1/metrics/ep", Requests: requests, Concurrency: clients},
 		{Path: "/api/v1/figures/3?format=svg", Requests: requests, Concurrency: clients},
+		{Path: "/metrics", Requests: requests, Concurrency: clients, Check: lintScrape},
 		{Path: "/healthz", Requests: requests, Concurrency: clients},
+	}
+	if synthetic {
+		runs = append(runs, loadbench.Options{
+			Path: "mixed-keys", Requests: requests, Concurrency: clients,
+			Paths: []string{
+				"/api/v1/summary",
+				fmt.Sprintf("/api/v1/summary?seed=%d&servers=64", srv.Snapshot().Seed),
+				fmt.Sprintf("/api/v1/metrics/ep?seed=%d&servers=96", srv.Snapshot().Seed),
+				"/metrics",
+			},
+		})
 	}
 	for _, opt := range runs {
 		res, err := loadbench.Run(client, base, opt)
@@ -255,6 +298,78 @@ func selfTest(srv *serve.Server, synthetic bool, requests, clients int, out io.W
 		fmt.Fprintln(out, res.String())
 	}
 	fmt.Fprintln(out, "selftest: ok")
+	return nil
+}
+
+// checkScrape lints the /metrics exposition with the strict internal
+// OpenMetrics parser, asserts the family groups the PR 9 contract
+// names, exercises a keyed scenario (synthetic servers), and measures
+// warm-scrape latency.
+func checkScrape(srv *serve.Server, client *http.Client, base string, synthetic bool, out io.Writer) error {
+	if synthetic {
+		// Load one keyed scenario first so the scrape spans two corpora.
+		if err := expectOK(client, base+fmt.Sprintf("/api/v1/summary?seed=%d&servers=64", srv.Snapshot().Seed)); err != nil {
+			return fmt.Errorf("keyed summary: %w", err)
+		}
+	}
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		return err
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("scrape: status %d, read err %v", resp.StatusCode, err)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != metrics.ContentType {
+		return fmt.Errorf("scrape Content-Type %q", ct)
+	}
+	fams, err := metrics.Parse(body)
+	if err != nil {
+		return fmt.Errorf("exposition does not lint: %w", err)
+	}
+	for _, name := range []string{
+		"spec_corpus_servers", "spec_corpus_ep", "spec_corpus_idle_fraction",
+		"spec_fleet_ep", "spec_fleet_power_watts", "spec_fleet_active_servers",
+		"spec_serve_requests", "spec_serve_response_cache_entries",
+		"spec_workspace_resident", "spec_serve_reload_generation",
+	} {
+		if metrics.Find(fams, name) == nil {
+			return fmt.Errorf("exposition lacks family %s", name)
+		}
+	}
+	corpora := map[string]bool{}
+	for _, smp := range metrics.Find(fams, "spec_corpus_servers").Samples {
+		for _, l := range smp.Labels {
+			if l.Name == "corpus" {
+				corpora[l.Value] = true
+			}
+		}
+	}
+	if synthetic && len(corpora) < 2 {
+		return fmt.Errorf("scrape covers %d corpora, want the default plus the keyed scenario", len(corpora))
+	}
+
+	// Warm-scrape latency: every snapshot's gauges are memoized by now,
+	// so take the best of a few runs as the steady-state number.
+	warm := time.Duration(1 << 62)
+	for i := 0; i < 20; i++ {
+		t0 := time.Now()
+		resp, err := client.Get(base + "/metrics")
+		if err != nil {
+			return err
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if d := time.Since(t0); d < warm {
+			warm = d
+		}
+	}
+	fmt.Fprintf(out, "metrics: %d families over %d corpora lint clean, warm scrape %s\n",
+		len(fams), len(corpora), warm.Round(time.Microsecond))
+	if warm > 5*time.Millisecond {
+		return fmt.Errorf("warm scrape took %s, want about a millisecond", warm)
+	}
 	return nil
 }
 

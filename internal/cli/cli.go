@@ -15,7 +15,7 @@ import (
 
 // Version is the repository-wide version string every binary reports.
 // Bump it when the serving API or the CLI surface changes shape.
-const Version = "0.8.0"
+const Version = "0.9.0"
 
 // New returns a flag set with the shared conventions: ContinueOnError
 // parsing, usage on stderr with a one-line summary above the flag list,

@@ -1,0 +1,294 @@
+// Package metrics is a hand-rolled OpenMetrics text-exposition layer:
+// a writer that renders counter and gauge families in the canonical
+// form Prometheus scrapes (HELP/TYPE/UNIT metadata, escaped label
+// values, `# EOF` terminator) and a minimal validating parser used as
+// a lint in tests and self-checks. It has no client_golang dependency
+// and no registry: callers assemble []Family per scrape from whatever
+// state they want to expose.
+//
+// The writer is canonical and deterministic: families are emitted in
+// name order, labels within a sample in name order, and samples within
+// a family in label-lexicographic order, so the same logical state
+// always renders byte-identically — which is what lets the serving
+// layer pin scrape output with sha256 digests at any worker count.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Type is the OpenMetrics metric type of a family.
+type Type int
+
+// Supported family types. Counters expose one monotonically
+// non-decreasing `_total` sample per label set; gauges expose current
+// values.
+const (
+	TypeGauge Type = iota
+	TypeCounter
+)
+
+// String returns the exposition spelling of the type.
+func (t Type) String() string {
+	switch t {
+	case TypeCounter:
+		return "counter"
+	default:
+		return "gauge"
+	}
+}
+
+// ContentType is the media type of an OpenMetrics 1.0 text exposition.
+const ContentType = "application/openmetrics-text; version=1.0.0; charset=utf-8"
+
+// Label is one name→value pair of a sample.
+type Label struct {
+	Name, Value string
+}
+
+// Sample is one measured value with its label set. Label order is not
+// significant; the writer sorts by label name.
+type Sample struct {
+	Labels []Label
+	Value  float64
+}
+
+// Family is one metric family: metadata plus its samples. For
+// counters, Name is the family name without the `_total` suffix — the
+// writer appends it to every sample as the spec requires. When Unit is
+// set, Name must end in "_"+Unit.
+type Family struct {
+	Name string
+	Help string
+	Unit string
+	Type Type
+
+	Samples []Sample
+}
+
+// Value returns the value of the sample whose label set matches the
+// given labels exactly (order-insensitive), and whether one exists.
+func (f *Family) Value(labels ...Label) (float64, bool) {
+	want := canonicalLabels(labels)
+	for _, s := range f.Samples {
+		if labelsEqual(canonicalLabels(s.Labels), want) {
+			return s.Value, true
+		}
+	}
+	return 0, false
+}
+
+// Find returns the family with the given name, or nil.
+func Find(fams []Family, name string) *Family {
+	for i := range fams {
+		if fams[i].Name == name {
+			return &fams[i]
+		}
+	}
+	return nil
+}
+
+// Write renders the families as one canonical OpenMetrics text
+// exposition ending in `# EOF`. It validates as it goes: metric and
+// label names must be legal, units must suffix the family name,
+// counter values must be finite and non-negative, and no two samples
+// of a family may share a label set. The input is not mutated.
+func Write(w io.Writer, fams []Family) error {
+	ordered := make([]*Family, len(fams))
+	for i := range fams {
+		ordered[i] = &fams[i]
+	}
+	sort.SliceStable(ordered, func(i, j int) bool { return ordered[i].Name < ordered[j].Name })
+
+	var sb strings.Builder
+	seen := make(map[string]bool, len(ordered))
+	for _, f := range ordered {
+		if err := writeFamily(&sb, f, seen); err != nil {
+			return err
+		}
+	}
+	sb.WriteString("# EOF\n")
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// writeFamily renders one family's metadata and sorted samples.
+func writeFamily(sb *strings.Builder, f *Family, seen map[string]bool) error {
+	if !validName(f.Name) {
+		return fmt.Errorf("metrics: invalid family name %q", f.Name)
+	}
+	if seen[f.Name] {
+		return fmt.Errorf("metrics: duplicate family %q", f.Name)
+	}
+	seen[f.Name] = true
+	if f.Type == TypeCounter {
+		// A counter's samples expose f.Name+"_total"; another family
+		// with that literal name would collide in the exposition.
+		if seen[f.Name+"_total"] {
+			return fmt.Errorf("metrics: counter %q collides with family %q", f.Name, f.Name+"_total")
+		}
+		seen[f.Name+"_total"] = true
+	}
+	if f.Unit != "" && !strings.HasSuffix(f.Name, "_"+f.Unit) {
+		return fmt.Errorf("metrics: family %q does not end in unit %q", f.Name, f.Unit)
+	}
+
+	if f.Help != "" {
+		sb.WriteString("# HELP ")
+		sb.WriteString(f.Name)
+		sb.WriteByte(' ')
+		sb.WriteString(escapeHelp(f.Help))
+		sb.WriteByte('\n')
+	}
+	sb.WriteString("# TYPE ")
+	sb.WriteString(f.Name)
+	sb.WriteByte(' ')
+	sb.WriteString(f.Type.String())
+	sb.WriteByte('\n')
+	if f.Unit != "" {
+		sb.WriteString("# UNIT ")
+		sb.WriteString(f.Name)
+		sb.WriteByte(' ')
+		sb.WriteString(f.Unit)
+		sb.WriteByte('\n')
+	}
+
+	sampleName := f.Name
+	if f.Type == TypeCounter {
+		sampleName += "_total"
+	}
+	rendered := make([]string, 0, len(f.Samples))
+	keys := make(map[string]bool, len(f.Samples))
+	for _, s := range f.Samples {
+		if f.Type == TypeCounter && (s.Value < 0 || math.IsNaN(s.Value) || math.IsInf(s.Value, 0)) {
+			return fmt.Errorf("metrics: counter %q has non-monotone-capable value %v", f.Name, s.Value)
+		}
+		labels := canonicalLabels(s.Labels)
+		var line strings.Builder
+		line.WriteString(sampleName)
+		if len(labels) > 0 {
+			line.WriteByte('{')
+			for i, l := range labels {
+				if !validLabelName(l.Name) {
+					return fmt.Errorf("metrics: family %q has invalid label name %q", f.Name, l.Name)
+				}
+				if i > 0 && labels[i-1].Name == l.Name {
+					return fmt.Errorf("metrics: family %q sample repeats label %q", f.Name, l.Name)
+				}
+				if i > 0 {
+					line.WriteByte(',')
+				}
+				line.WriteString(l.Name)
+				line.WriteString(`="`)
+				line.WriteString(escapeLabelValue(l.Value))
+				line.WriteByte('"')
+			}
+			line.WriteByte('}')
+		}
+		key := line.String()
+		if keys[key] {
+			return fmt.Errorf("metrics: family %q has duplicate sample %s", f.Name, key)
+		}
+		keys[key] = true
+		line.WriteByte(' ')
+		line.WriteString(formatValue(s.Value))
+		line.WriteByte('\n')
+		rendered = append(rendered, line.String())
+	}
+	sort.Strings(rendered)
+	for _, line := range rendered {
+		sb.WriteString(line)
+	}
+	return nil
+}
+
+// canonicalLabels returns the labels sorted by name, without mutating
+// the input.
+func canonicalLabels(labels []Label) []Label {
+	if len(labels) < 2 {
+		return labels
+	}
+	out := append([]Label(nil), labels...)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+func labelsEqual(a, b []Label) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// formatValue renders a float the way the exposition format expects:
+// shortest round-trippable decimal, with the spec spellings for the
+// non-finite values.
+func formatValue(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "NaN"
+	case math.IsInf(v, +1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// validName reports whether s is a legal metric name.
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		if r == '_' || r == ':' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') {
+			continue
+		}
+		if r >= '0' && r <= '9' && i > 0 {
+			continue
+		}
+		return false
+	}
+	return true
+}
+
+// validLabelName reports whether s is a legal label name.
+func validLabelName(s string) bool {
+	if s == "" || strings.HasPrefix(s, "__") {
+		return false
+	}
+	for i, r := range s {
+		if r == '_' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') {
+			continue
+		}
+		if r >= '0' && r <= '9' && i > 0 {
+			continue
+		}
+		return false
+	}
+	return true
+}
+
+// escapeHelp escapes a HELP text: backslash and newline.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// escapeLabelValue escapes a label value: backslash, double quote and
+// newline.
+func escapeLabelValue(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}

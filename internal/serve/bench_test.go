@@ -103,3 +103,58 @@ func BenchmarkFigureWarmHit(b *testing.B) {
 		benchRequest(b, s, "/api/v1/figures/3", nil)
 	}
 }
+
+// BenchmarkMetricsScrapeWarm measures the steady-state /metrics path:
+// the per-snapshot corpus and fleet gauges are memoized, so each
+// scrape only snapshots live counters, assembles samples and writes
+// the exposition text. This is the number the PR 9 acceptance bound
+// (warm scrape <= 1 ms on the seed-1 corpus) pins.
+func BenchmarkMetricsScrapeWarm(b *testing.B) {
+	s, err := New(Config{Seed: testSeed, Repo: corpus(b)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchRequest(b, s, "/metrics", nil) // build the memoized gauges
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchRequest(b, s, "/metrics", nil)
+	}
+}
+
+// BenchmarkMetricsScrapeMultiCorpus measures a warm scrape over a
+// populated workspace: the default corpus plus three keyed fleet
+// scenarios, every family carrying four corpus label values.
+func BenchmarkMetricsScrapeMultiCorpus(b *testing.B) {
+	s, err := New(Config{Seed: testSeed})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, servers := range []int{64, 96, 128} {
+		if _, err := s.Workspace().Get(Key{Seed: testSeed, Servers: servers}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	benchRequest(b, s, "/metrics", nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchRequest(b, s, "/metrics", nil)
+	}
+}
+
+// BenchmarkKeyedSummaryWarm measures the keyed warm path: one
+// workspace hit (LRU touch under the mutex) on top of the byte-cache
+// hit the unkeyed path pays.
+func BenchmarkKeyedSummaryWarm(b *testing.B) {
+	s, err := New(Config{Seed: testSeed})
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchRequest(b, s, "/api/v1/summary?servers=64", nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchRequest(b, s, "/api/v1/summary?servers=64", nil)
+	}
+}

@@ -43,10 +43,11 @@ type Cache struct {
 	entries sync.Map // string → *Entry
 	flight  par.Flight[string, *Entry]
 
-	hits   atomic.Int64
-	misses atomic.Int64
-	bytes  atomic.Int64 // identity+gzip payload bytes resident
-	count  atomic.Int64 // entries resident
+	hits      atomic.Int64
+	misses    atomic.Int64
+	coalesced atomic.Int64 // misses that joined another caller's render
+	bytes     atomic.Int64 // identity+gzip payload bytes resident
+	count     atomic.Int64 // entries resident
 }
 
 // Get returns the cached entry for key, rendering and caching it on
@@ -59,7 +60,8 @@ func (c *Cache) Get(key string, render func() (body []byte, contentType string, 
 		return v.(*Entry), true, nil
 	}
 	c.misses.Add(1)
-	e, err, _ = c.flight.Do(key, func() (*Entry, error) {
+	var shared bool
+	e, err, shared = c.flight.Do(key, func() (*Entry, error) {
 		// Double-check under the flight: a previous execution may have
 		// filled the key between our Load and Do.
 		if v, ok := c.entries.Load(key); ok {
@@ -75,6 +77,9 @@ func (c *Cache) Get(key string, render func() (body []byte, contentType string, 
 		c.bytes.Add(int64(len(ent.Body) + len(ent.Gzip)))
 		return ent, nil
 	})
+	if shared {
+		c.coalesced.Add(1)
+	}
 	return e, false, err
 }
 
@@ -92,15 +97,19 @@ type CacheStats struct {
 	Bytes   int64 `json:"bytes"`
 	Hits    int64 `json:"hits"`
 	Misses  int64 `json:"misses"`
+	// Coalesced counts misses that shared another caller's in-flight
+	// render instead of rendering themselves.
+	Coalesced int64 `json:"coalesced"`
 }
 
 // Stats reports the cache counters.
 func (c *Cache) Stats() CacheStats {
 	return CacheStats{
-		Entries: c.count.Load(),
-		Bytes:   c.bytes.Load(),
-		Hits:    c.hits.Load(),
-		Misses:  c.misses.Load(),
+		Entries:   c.count.Load(),
+		Bytes:     c.bytes.Load(),
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Coalesced: c.coalesced.Load(),
 	}
 }
 

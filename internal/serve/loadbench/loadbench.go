@@ -19,6 +19,11 @@ import (
 type Options struct {
 	// Path is the request target, e.g. "/api/v1/report".
 	Path string
+	// Paths, when non-empty, overrides Path with a rotation: request i
+	// targets Paths[i % len(Paths)], so one run mixes endpoints (or
+	// workspace keys) the way real scrape-plus-query traffic does. Path
+	// then only labels the result line.
+	Paths []string
 	// Requests is the total request count (default 1000).
 	Requests int
 	// Concurrency is the number of in-flight workers (default 8).
@@ -29,6 +34,10 @@ type Options struct {
 	// WantStatus is the expected response status (default 200); any
 	// other response counts as an error.
 	WantStatus int
+	// Check, when set, receives each response's status and full body;
+	// a returned error marks the request failed. The body is only read
+	// into memory when Check is set.
+	Check func(status int, body []byte) error
 }
 
 // Result summarizes one load run.
@@ -67,7 +76,14 @@ func Run(client *http.Client, baseURL string, opt Options) (Result, error) {
 	if opt.WantStatus == 0 {
 		opt.WantStatus = http.StatusOK
 	}
-	url := baseURL + opt.Path
+	paths := opt.Paths
+	if len(paths) == 0 {
+		paths = []string{opt.Path}
+	}
+	label := opt.Path
+	if label == "" {
+		label = fmt.Sprintf("mixed(%d paths)", len(paths))
+	}
 
 	var (
 		wg        sync.WaitGroup
@@ -75,10 +91,10 @@ func Run(client *http.Client, baseURL string, opt Options) (Result, error) {
 		latencies = make([]time.Duration, 0, opt.Requests)
 		errs      int
 		bytes     int64
-		next      = make(chan struct{}, opt.Requests)
+		next      = make(chan int, opt.Requests)
 	)
 	for i := 0; i < opt.Requests; i++ {
-		next <- struct{}{}
+		next <- i
 	}
 	close(next)
 
@@ -90,9 +106,9 @@ func Run(client *http.Client, baseURL string, opt Options) (Result, error) {
 			local := make([]time.Duration, 0, opt.Requests/opt.Concurrency+1)
 			var localErrs int
 			var localBytes int64
-			for range next {
+			for i := range next {
 				t0 := time.Now()
-				n, err := one(client, url, opt)
+				n, err := one(client, baseURL+paths[i%len(paths)], opt)
 				local = append(local, time.Since(t0))
 				if err != nil {
 					localErrs++
@@ -111,7 +127,7 @@ func Run(client *http.Client, baseURL string, opt Options) (Result, error) {
 
 	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
 	res := Result{
-		Path:     opt.Path,
+		Path:     label,
 		Requests: len(latencies),
 		Errors:   errs,
 		Elapsed:  elapsed,
@@ -124,12 +140,13 @@ func Run(client *http.Client, baseURL string, opt Options) (Result, error) {
 		res.Throughput = float64(n) / elapsed.Seconds()
 	}
 	if errs > 0 {
-		return res, fmt.Errorf("loadbench: %d/%d requests failed against %s", errs, opt.Requests, url)
+		return res, fmt.Errorf("loadbench: %d/%d requests failed against %s%s", errs, opt.Requests, baseURL, label)
 	}
 	return res, nil
 }
 
-// one issues a single request and drains the body.
+// one issues a single request; the body is drained, or read and handed
+// to opt.Check when set.
 func one(client *http.Client, url string, opt Options) (int64, error) {
 	req, err := http.NewRequest(http.MethodGet, url, nil)
 	if err != nil {
@@ -144,10 +161,25 @@ func one(client *http.Client, url string, opt Options) (int64, error) {
 	if err != nil {
 		return 0, err
 	}
-	n, _ := io.Copy(io.Discard, resp.Body)
+	var n int64
+	var body []byte
+	if opt.Check != nil {
+		body, err = io.ReadAll(resp.Body)
+		n = int64(len(body))
+	} else {
+		n, _ = io.Copy(io.Discard, resp.Body)
+	}
 	resp.Body.Close()
+	if err != nil {
+		return n, err
+	}
 	if resp.StatusCode != opt.WantStatus {
 		return n, fmt.Errorf("status %d, want %d", resp.StatusCode, opt.WantStatus)
+	}
+	if opt.Check != nil {
+		if err := opt.Check(resp.StatusCode, body); err != nil {
+			return n, err
+		}
 	}
 	return n, nil
 }

@@ -15,6 +15,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/report"
 	"repro/internal/stats"
+	"repro/internal/synth"
 	"repro/internal/trace"
 )
 
@@ -33,24 +34,53 @@ type Config struct {
 	// StatsWindow sizes each endpoint's latency percentile window
 	// (0 = the internal/trace default).
 	StatsWindow int
+	// WorkspaceCap bounds the resident keyed scenarios served via
+	// ?seed=/?servers= selectors (0 = DefaultWorkspaceCap). Scenarios
+	// past the bound evict least-recently-used and reload on return.
+	WorkspaceCap int
+	// MaxFleetServers caps the ?servers= fleet size a request may ask
+	// for (0 = DefaultMaxFleetServers). Fleet corpora are generated on
+	// demand, so the cap bounds per-request work and resident memory.
+	MaxFleetServers int
+	// CorpusName overrides the corpus label the default snapshot's
+	// metric families carry — file-backed servers name their dataset;
+	// "" keeps the synthetic "seed=N" label.
+	CorpusName string
 }
 
+// DefaultMaxFleetServers bounds ?servers= when the Config does not.
+const DefaultMaxFleetServers = 100_000
+
 // endpointClasses are the per-endpoint recorder keys of /debug/stats.
-var endpointClasses = []string{"report", "figures", "metrics", "servers", "summary", "healthz", "reload"}
+var endpointClasses = []string{"report", "figures", "metrics", "servers", "summary", "healthz", "reload", "scrape"}
 
 // Server is the snapshot-cached HTTP API over the corpus. All request
-// handling goes through the current *Snapshot (atomically swappable via
-// Reload) and its byte cache; per-endpoint latency and hit-rate
-// recorders feed /debug/stats.
+// handling goes through a *Snapshot — the default generation on a
+// lock-free atomic pointer (swappable via Reload), keyed
+// ?seed=/?servers= scenarios through the LRU-bounded Workspace — and
+// its per-snapshot byte cache; per-endpoint latency and hit-rate
+// recorders feed /debug/stats, and /metrics exposes everything as
+// OpenMetrics.
 type Server struct {
 	mux  *http.ServeMux
 	snap atomic.Pointer[Snapshot]
+
+	// workspace holds the keyed scenarios; synthetic gates them (a
+	// file-backed corpus cannot be re-derived from a key).
+	workspace *Workspace
+	synthetic bool
+	maxFleet  int
 
 	// source rebuilds the corpus for Reload: synthesis for seed-backed
 	// servers, the retained repository for file-backed ones.
 	source   func(seed int64) (*dataset.Repository, error)
 	reloadMu sync.Mutex
 	opts     report.Options
+	// corpusName relabels the default snapshot (file-backed datasets).
+	corpusName string
+	// gen counts completed reloads; exposed as
+	// spec_serve_reload_generation.
+	gen atomic.Int64
 
 	recorders map[string]*trace.LatencyRecorder
 }
@@ -59,7 +89,17 @@ type Server struct {
 // on first request and cached in the snapshot.
 func New(cfg Config) (*Server, error) {
 	opts := report.Options{Sweeps: cfg.Sweeps, SweepSeconds: cfg.SweepSeconds, Seed: cfg.Seed}
-	s := &Server{opts: opts, recorders: make(map[string]*trace.LatencyRecorder, len(endpointClasses))}
+	s := &Server{
+		opts:       opts,
+		synthetic:  cfg.Repo == nil,
+		maxFleet:   cfg.MaxFleetServers,
+		corpusName: cfg.CorpusName,
+		recorders:  make(map[string]*trace.LatencyRecorder, len(endpointClasses)),
+	}
+	if s.maxFleet <= 0 {
+		s.maxFleet = DefaultMaxFleetServers
+	}
+	s.workspace = NewWorkspace(cfg.WorkspaceCap, s.loadScenario)
 	for _, class := range endpointClasses {
 		s.recorders[class] = trace.NewLatencyRecorder(cfg.StatsWindow)
 	}
@@ -89,6 +129,7 @@ func New(cfg Config) (*Server, error) {
 	mux.HandleFunc("GET /api/v1/servers", s.handleServers)
 	mux.HandleFunc("GET /api/v1/summary", s.handleSummary)
 	mux.HandleFunc("POST /api/v1/reload", s.handleReload)
+	mux.HandleFunc("GET /metrics", s.handleScrape)
 	mux.HandleFunc("GET /debug/stats", s.handleStats)
 	s.mux = mux
 	return s, nil
@@ -99,6 +140,13 @@ func (s *Server) Handler() http.Handler { return s.mux }
 
 // Snapshot returns the current serving generation.
 func (s *Server) Snapshot() *Snapshot { return s.snap.Load() }
+
+// Workspace returns the keyed-scenario cache (tests and /metrics use
+// it; read-mostly).
+func (s *Server) Workspace() *Workspace { return s.workspace }
+
+// Generation returns the number of completed reloads.
+func (s *Server) Generation() int64 { return s.gen.Load() }
 
 // Reload builds a fresh snapshot at seed — new corpus for seed-backed
 // servers, new sweep seed and empty cache either way — and swaps it in
@@ -114,37 +162,119 @@ func (s *Server) Reload(seed int64) (*Snapshot, error) {
 	opts := s.opts
 	opts.Seed = seed
 	snap := NewSnapshot(rp, seed, opts)
+	if s.corpusName != "" {
+		snap.Corpus = s.corpusName
+	}
 	s.snap.Store(snap)
+	s.gen.Add(1)
 	return snap, nil
+}
+
+// loadScenario is the workspace loader: it materializes the corpus a
+// Key describes. A bare seed regenerates the calibrated paper corpus;
+// a fleet key samples synth.GenerateFleet. The same key always yields
+// a byte-identical corpus, so evicted scenarios reload transparently.
+func (s *Server) loadScenario(key Key) (*Snapshot, error) {
+	opts := s.opts
+	opts.Seed = key.Seed
+	if key.Servers == 0 {
+		return SynthSnapshot(key.Seed, opts)
+	}
+	fleet, err := synth.GenerateFleet(synth.FleetConfig{Seed: key.Seed, Servers: key.Servers})
+	if err != nil {
+		return nil, fmt.Errorf("serve: generate fleet %s: %w", key, err)
+	}
+	snap := NewSnapshot(dataset.NewRepository(fleet), key.Seed, opts)
+	snap.Corpus = key.String()
+	return snap, nil
+}
+
+// snapshotFor resolves the snapshot a request addresses. Requests
+// without ?seed=/?servers= selectors — the whole PR 3 surface — stay
+// on the lock-free default pointer. Keyed selectors go through the
+// workspace; they are rejected on file-backed servers, whose corpus
+// cannot be re-derived from a key.
+func (s *Server) snapshotFor(r *http.Request) (*Snapshot, error) {
+	q := r.URL.Query()
+	seedStr, serversStr := q.Get("seed"), q.Get("servers")
+	if seedStr == "" && serversStr == "" {
+		return s.snap.Load(), nil
+	}
+	if !s.synthetic {
+		return nil, fmt.Errorf("%w: corpus selectors need a synthetic server (this corpus is file-backed)", errBadRequest)
+	}
+	key := Key{Seed: s.snap.Load().Seed}
+	if seedStr != "" {
+		v, err := strconv.ParseInt(seedStr, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("%w: bad seed %q", errBadRequest, seedStr)
+		}
+		key.Seed = v
+	}
+	if serversStr != "" {
+		v, err := strconv.Atoi(serversStr)
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("%w: bad servers %q (want a positive count)", errBadRequest, serversStr)
+		}
+		if v > s.maxFleet {
+			return nil, fmt.Errorf("%w: servers %d exceeds the limit %d", errBadRequest, v, s.maxFleet)
+		}
+		key.Servers = v
+	}
+	// A bare ?seed= naming the current generation is the default
+	// scenario: serve it from the pointer so the workspace holds only
+	// genuinely distinct corpora.
+	if cur := s.snap.Load(); key.Servers == 0 && key.Seed == cur.Seed {
+		return cur, nil
+	}
+	return s.workspace.Get(key)
 }
 
 // renderFunc renders one payload inside a snapshot.
 type renderFunc func(*Snapshot) (body []byte, contentType string, err error)
 
-// cached serves one cacheable endpoint: resolve the current snapshot,
-// fetch-or-render the entry (coalesced), write it with ETag
-// revalidation, and record latency and hit-rate. The warm path does no
-// rendering, no copying, and no allocation beyond response headers.
+// cached serves one cacheable endpoint: resolve the addressed snapshot
+// (default pointer or workspace key), fetch-or-render the entry
+// (coalesced), write it with ETag revalidation, and record latency and
+// hit-rate. The warm path does no rendering, no copying, and no
+// allocation beyond response headers.
 func (s *Server) cached(w http.ResponseWriter, r *http.Request, class, key string, render renderFunc) {
 	start := time.Now()
-	snap := s.snap.Load()
+	snap, err := s.snapshotFor(r)
+	if err != nil {
+		http.Error(w, err.Error(), errStatus(err))
+		s.recorders[class].Observe(time.Since(start), false, true)
+		return
+	}
 	ent, hit, err := snap.cache.Get(key, func() ([]byte, string, error) { return render(snap) })
 	if err != nil {
-		status := http.StatusInternalServerError
-		if errors.Is(err, errNotFound) {
-			status = http.StatusNotFound
-		} else if errors.Is(err, report.ErrNoSVG) {
-			status = http.StatusNotAcceptable
-		}
-		http.Error(w, err.Error(), status)
+		http.Error(w, err.Error(), errStatus(err))
 	} else {
 		writeEntry(w, r, ent)
 	}
 	s.recorders[class].Observe(time.Since(start), hit, err != nil)
 }
 
-// errNotFound classifies render errors that should map to 404.
-var errNotFound = errors.New("not found")
+// errNotFound classifies render errors that should map to 404;
+// errBadRequest classifies malformed corpus selectors (400).
+var (
+	errNotFound   = errors.New("not found")
+	errBadRequest = errors.New("bad request")
+)
+
+// errStatus maps a handler error to its HTTP status.
+func errStatus(err error) int {
+	switch {
+	case errors.Is(err, errNotFound):
+		return http.StatusNotFound
+	case errors.Is(err, errBadRequest):
+		return http.StatusBadRequest
+	case errors.Is(err, report.ErrNoSVG):
+		return http.StatusNotAcceptable
+	default:
+		return http.StatusInternalServerError
+	}
+}
 
 // writeEntry writes a cached entry, honoring If-None-Match and
 // Accept-Encoding. The entry's bytes are written as-is — they are
@@ -446,26 +576,36 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 type statsPayload struct {
 	Endpoints map[string]trace.LatencyStats `json:"endpoints"`
 	Cache     CacheStats                    `json:"cache"`
+	Workspace WorkspaceStats                `json:"workspace"`
 	Snapshot  struct {
-		Seed   int64 `json:"seed"`
-		Corpus int   `json:"corpus"`
-		Valid  int   `json:"valid"`
-		Sweeps bool  `json:"sweeps"`
+		Seed       int64  `json:"seed"`
+		Corpus     string `json:"corpus"`
+		Servers    int    `json:"servers"`
+		Valid      int    `json:"valid"`
+		Sweeps     bool   `json:"sweeps"`
+		Generation int64  `json:"generation"`
 	} `json:"snapshot"`
 }
 
-// handleStats reports per-endpoint latency/hit-rate counters and cache
-// occupancy. Never cached: it is the observability endpoint.
+// handleStats reports per-endpoint latency/hit-rate counters, cache
+// occupancy and workspace accounting. Never cached: it is the
+// observability endpoint.
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	snap := s.snap.Load()
-	out := statsPayload{Endpoints: make(map[string]trace.LatencyStats, len(s.recorders)), Cache: snap.cache.Stats()}
+	out := statsPayload{
+		Endpoints: make(map[string]trace.LatencyStats, len(s.recorders)),
+		Cache:     snap.cache.Stats(),
+		Workspace: s.workspace.Stats(),
+	}
 	for class, rec := range s.recorders {
 		out.Endpoints[class] = rec.Snapshot()
 	}
 	out.Snapshot.Seed = snap.Seed
-	out.Snapshot.Corpus = snap.Repo.Len()
+	out.Snapshot.Corpus = snap.Corpus
+	out.Snapshot.Servers = snap.Repo.Len()
 	out.Snapshot.Valid = snap.Valid.Len()
 	out.Snapshot.Sweeps = snap.Opts.Sweeps
+	out.Snapshot.Generation = s.gen.Load()
 	data, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)

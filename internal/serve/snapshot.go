@@ -2,8 +2,11 @@ package serve
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/dataset"
+	"repro/internal/metrics"
 	"repro/internal/report"
 	"repro/internal/synth"
 )
@@ -24,8 +27,21 @@ type Snapshot struct {
 	// Opts parameterize the /api/v1/report render, exactly as
 	// specreport passes them to report.Full.
 	Opts report.Options
+	// Corpus is the label every metric family derived from this
+	// snapshot carries — the workspace Key string for keyed scenarios,
+	// "seed=N" for the default synthetic corpus, the dataset name for
+	// file-backed servers.
+	Corpus string
 
 	cache Cache
+
+	// The corpus and fleet gauge families are pure functions of the
+	// immutable corpus, so they are computed once per snapshot on first
+	// scrape and shared by every /metrics render thereafter.
+	gaugesOnce  sync.Once
+	gauges      []metrics.Family
+	gaugesErr   error
+	gaugesReady atomic.Bool
 }
 
 // NewSnapshot freezes an already-loaded repository into a serving
@@ -34,7 +50,7 @@ type Snapshot struct {
 func NewSnapshot(rp *dataset.Repository, seed int64, opts report.Options) *Snapshot {
 	valid := rp.Valid()
 	valid.Precompute()
-	return &Snapshot{Repo: rp, Valid: valid, Seed: seed, Opts: opts}
+	return &Snapshot{Repo: rp, Valid: valid, Seed: seed, Opts: opts, Corpus: Key{Seed: seed}.String()}
 }
 
 // SynthSnapshot generates the calibrated synthetic corpus at seed and

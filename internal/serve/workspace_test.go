@@ -1,0 +1,217 @@
+package serve
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// countingLoader builds bare snapshots and counts invocations; the
+// workspace property tests never need a real corpus.
+func countingLoader(calls *atomic.Int64) func(Key) (*Snapshot, error) {
+	return func(k Key) (*Snapshot, error) {
+		if calls != nil {
+			calls.Add(1)
+		}
+		return &Snapshot{Seed: k.Seed, Corpus: k.String()}, nil
+	}
+}
+
+// TestWorkspaceLRUOrder: recency order follows accesses exactly —
+// loads and hits both move a key to the front, the back evicts first,
+// and an evicted key reloads on return.
+func TestWorkspaceLRUOrder(t *testing.T) {
+	var calls atomic.Int64
+	ws := NewWorkspace(3, countingLoader(&calls))
+	k := func(seed int64) Key { return Key{Seed: seed} }
+
+	for _, seed := range []int64{1, 2, 3} {
+		if _, err := ws.Get(k(seed)); err != nil {
+			t.Fatalf("Get(%d): %v", seed, err)
+		}
+	}
+	if got, want := ws.Keys(), []Key{k(3), k(2), k(1)}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("after loads 1,2,3: keys %v, want %v", got, want)
+	}
+
+	if _, err := ws.Get(k(1)); err != nil { // hit: 1 becomes MRU
+		t.Fatalf("Get(1): %v", err)
+	}
+	if got, want := ws.Keys(), []Key{k(1), k(3), k(2)}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("after touching 1: keys %v, want %v", got, want)
+	}
+
+	if _, err := ws.Get(k(4)); err != nil { // loads 4, evicts 2 (LRU)
+		t.Fatalf("Get(4): %v", err)
+	}
+	if got, want := ws.Keys(), []Key{k(4), k(1), k(3)}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("after loading 4: keys %v, want %v", got, want)
+	}
+	st := ws.Stats()
+	if st.Evictions != 1 || st.Loads != 4 || st.Hits != 1 || st.Resident != 3 {
+		t.Fatalf("stats %+v, want 1 eviction, 4 loads, 1 hit, 3 resident", st)
+	}
+
+	if _, err := ws.Get(k(2)); err != nil { // evicted key reloads
+		t.Fatalf("Get(2) after eviction: %v", err)
+	}
+	if got := calls.Load(); got != 5 {
+		t.Fatalf("loader ran %d times, want 5 (4 distinct + 1 reload)", got)
+	}
+}
+
+// TestWorkspaceCapacityBound drives a seeded random access schedule
+// against a reference LRU model: the workspace's resident set, its
+// order, and the capacity bound must match the model after every
+// operation.
+func TestWorkspaceCapacityBound(t *testing.T) {
+	const (
+		capacity = 4
+		keySpace = 11
+		ops      = 3000
+	)
+	ws := NewWorkspace(capacity, countingLoader(nil))
+	rng := rand.New(rand.NewSource(42))
+
+	var model []Key // model[0] is MRU
+	touch := func(k Key) {
+		for i, mk := range model {
+			if mk == k {
+				model = append([]Key{k}, append(model[:i:i], model[i+1:]...)...)
+				return
+			}
+		}
+		model = append([]Key{k}, model...)
+		if len(model) > capacity {
+			model = model[:capacity]
+		}
+	}
+
+	for op := 0; op < ops; op++ {
+		key := Key{Seed: int64(rng.Intn(keySpace))}
+		if rng.Intn(10) == 0 { // occasional fleet-shaped keys
+			key.Servers = 64 * (1 + rng.Intn(3))
+		}
+		snap, err := ws.Get(key)
+		if err != nil {
+			t.Fatalf("op %d Get(%v): %v", op, key, err)
+		}
+		if snap.Corpus != key.String() {
+			t.Fatalf("op %d: snapshot labeled %q, want %q", op, snap.Corpus, key)
+		}
+		touch(key)
+		if ws.Len() > capacity {
+			t.Fatalf("op %d: resident %d exceeds capacity %d", op, ws.Len(), capacity)
+		}
+		if got := ws.Keys(); !reflect.DeepEqual(got, model) {
+			t.Fatalf("op %d: keys %v diverge from model %v", op, got, model)
+		}
+	}
+	st := ws.Stats()
+	if st.Hits+st.Misses != ops || st.Loads != st.Misses || st.Evictions == 0 {
+		t.Fatalf("stats %+v inconsistent after %d ops", st, ops)
+	}
+}
+
+// TestWorkspaceLoadsExactlyOnce gates the loader and releases it only
+// after every concurrent first-request has joined the in-flight load:
+// the loader must run exactly once and every caller must receive the
+// same snapshot.
+func TestWorkspaceLoadsExactlyOnce(t *testing.T) {
+	const callers = 12
+	var calls atomic.Int64
+	gate := make(chan struct{})
+	ws := NewWorkspace(4, func(k Key) (*Snapshot, error) {
+		calls.Add(1)
+		<-gate
+		return &Snapshot{Corpus: k.String()}, nil
+	})
+	key := Key{Seed: 9, Servers: 256}
+
+	snaps := make([]*Snapshot, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			snap, err := ws.Get(key)
+			if err != nil {
+				t.Errorf("caller %d: %v", i, err)
+			}
+			snaps[i] = snap
+		}(i)
+	}
+	// Release the gated load only once the other callers are blocked on
+	// the same flight, so the exactly-once assertion is not timing luck.
+	deadline := time.Now().Add(10 * time.Second)
+	for ws.flight.Waiters(key) < callers-1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d callers joined the flight", ws.flight.Waiters(key))
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(gate)
+	wg.Wait()
+
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("loader ran %d times, want exactly 1", got)
+	}
+	for i, snap := range snaps {
+		if snap != snaps[0] {
+			t.Fatalf("caller %d received a different snapshot", i)
+		}
+	}
+	st := ws.Stats()
+	if st.Loads != 1 || st.Coalesced != callers-1 || st.Misses != callers {
+		t.Fatalf("stats %+v, want 1 load, %d coalesced, %d misses", st, callers-1, callers)
+	}
+}
+
+// TestWorkspaceEvictReload: the same key always reloads the same
+// scenario — after eviction, a re-request rebuilds a snapshot whose
+// rendered payloads are byte-identical and carry the same strong ETag,
+// so clients never observe eviction.
+func TestWorkspaceEvictReload(t *testing.T) {
+	render := func(k Key) func() ([]byte, string, error) {
+		return func() ([]byte, string, error) {
+			return []byte(fmt.Sprintf("payload for %s\n", k)), "text/plain", nil
+		}
+	}
+	ws := NewWorkspace(2, countingLoader(nil))
+	key := Key{Seed: 3, Servers: 128}
+
+	first, err := ws.Get(key)
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	e1, _, err := first.Cache().Get("k", render(key))
+	if err != nil {
+		t.Fatalf("first render: %v", err)
+	}
+
+	if !ws.Evict(key) {
+		t.Fatal("Evict reported the key absent")
+	}
+	if ws.Evict(key) {
+		t.Fatal("double Evict reported the key resident")
+	}
+
+	second, err := ws.Get(key)
+	if err != nil {
+		t.Fatalf("Get after eviction: %v", err)
+	}
+	if second == first {
+		t.Fatal("evicted key returned the old snapshot")
+	}
+	e2, _, err := second.Cache().Get("k", render(key))
+	if err != nil {
+		t.Fatalf("second render: %v", err)
+	}
+	if string(e1.Body) != string(e2.Body) || e1.ETag != e2.ETag {
+		t.Fatalf("reload not byte-identical: %q/%s vs %q/%s", e1.Body, e1.ETag, e2.Body, e2.ETag)
+	}
+}
