@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build vet test race bench fleetbench colbench simbench optbench servebench report report-html verify calibrate fuzz serve selftest examples clean
+.PHONY: all check build vet test race bench fleetbench colbench simbench optbench carbonbench servebench report report-html verify calibrate fuzz serve selftest examples clean
 
 all: check
 
@@ -55,6 +55,13 @@ simbench:
 # before/after matrix).
 optbench:
 	$(GO) test -run '^$$' -bench 'BenchmarkOptimize' -benchtime 1x ./internal/optimize
+
+# Carbon-aware-optimizer smoke: one iteration each of the static-rate
+# baseline, the 2-D demand×intensity fold (all 16,806 candidates under
+# a diurnal grid profile; must stay ≤ 2× the static time), and the
+# per-candidate exact-replay reference (see BENCH_carbon.json).
+carbonbench:
+	$(GO) test -run '^$$' -bench 'BenchmarkCarbon' -benchtime 1x ./internal/optimize
 
 # Serving-layer smoke: one iteration of the /metrics scrape and keyed
 # workspace benchmarks (BenchmarkMetricsScrapeWarm must stay <= 1 ms

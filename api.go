@@ -581,6 +581,62 @@ type (
 	Bill   = trace.Bill
 )
 
+// Time-varying rate signals and carbon-aware optimization
+// (internal/trace, internal/optimize).
+type (
+	// IntensityProfile is a periodic time-varying rate signal: grid
+	// carbon intensity (kgCO2/kWh) or electricity price (USD/kWh).
+	// Attach one to FleetSimConfig for per-step billing or to
+	// OptimizeObjective to price the composition search.
+	IntensityProfile = trace.IntensityProfile
+	// IntensityConfig parameterizes the synthetic intensity shapes.
+	IntensityConfig = trace.IntensityConfig
+	// TraceHist2D is the joint demand × rate histogram of
+	// CompressTrace2D: trace-weighted cost/carbon under a time-varying
+	// rate becomes a double sum over its cells.
+	TraceHist2D = trace.Hist2D
+	// OptimizeRegion is one candidate siting region — a tariff plus
+	// optional time-varying profiles; the optimizer scores every
+	// candidate at its cheapest region in a single pass.
+	OptimizeRegion = optimize.Region
+	// EmbodiedCarbon amortizes per-server manufacturing carbon over a
+	// service lifetime into the carbon objective.
+	EmbodiedCarbon = optimize.Embodied
+)
+
+// DiurnalIntensity synthesizes the sinusoidal day/night grid-intensity
+// profile (dirtiest at the evening peak, cleanest in the small hours).
+func DiurnalIntensity(cfg IntensityConfig) (*IntensityProfile, error) {
+	return trace.DiurnalIntensity(cfg)
+}
+
+// DuckCurveIntensity synthesizes the solar duck curve: the diurnal
+// evening peak plus a midday trough where solar displaces fossil
+// generation.
+func DuckCurveIntensity(cfg IntensityConfig) (*IntensityProfile, error) {
+	return trace.DuckCurveIntensity(cfg)
+}
+
+// ReadIntensityCSV parses an intensity (or price) profile from CSV (one
+// rate column, or time,rate pairs; optional header) at the given
+// sampling period.
+func ReadIntensityCSV(r io.Reader, stepSeconds float64) (*IntensityProfile, error) {
+	return trace.ReadIntensityCSV(r, stepSeconds)
+}
+
+// CompressTrace2D folds a demand trace jointly with one or more aligned
+// rate signals (see IntensityProfile.Align) into the demand × rate
+// histogram the carbon-aware optimizer scores against. With a constant
+// rate signal the demand marginals are bit-identical to the 1-D
+// compression.
+func CompressTrace2D(tr *Trace, bins, rateBins int, rateSets ...[]float64) (*TraceHist2D, error) {
+	return tr.Compress2D(bins, rateBins, rateSets...)
+}
+
+// DefaultEmbodiedCarbon returns the reference per-server embodied model
+// (1300 kgCO2e amortized over a 4-year service life).
+func DefaultEmbodiedCarbon() EmbodiedCarbon { return optimize.DefaultEmbodied() }
+
 // DefaultTariff returns a typical 2016 US datacenter tariff.
 func DefaultTariff() Tariff { return trace.DefaultTariff() }
 

@@ -3,6 +3,7 @@ package repro_test
 import (
 	"bytes"
 	"math"
+	"strings"
 	"testing"
 
 	"repro"
@@ -253,5 +254,34 @@ func TestFacadeExtensions(t *testing.T) {
 	bill, err := repro.EnergyCost(repro.ReplayResult{EnergyKWh: 10}, repro.DefaultTariff())
 	if err != nil || bill.USD <= 0 {
 		t.Fatalf("cost: %v", err)
+	}
+
+	// Time-varying intensity surface: shapes, CSV ingestion, alignment,
+	// the 2-D fold, and the embodied-carbon default.
+	prof, err := repro.DiurnalIntensity(repro.IntensityConfig{})
+	if err != nil || len(prof.Rates) != 24 {
+		t.Fatalf("DiurnalIntensity: %v (%d rates)", err, len(prof.Rates))
+	}
+	if duck, err := repro.DuckCurveIntensity(repro.IntensityConfig{}); err != nil || duck.Mean() >= prof.Mean() {
+		t.Fatalf("DuckCurveIntensity: %v", err)
+	}
+	csvProf, err := repro.ReadIntensityCSV(strings.NewReader("0.2\n0.6\n"), 3600)
+	if err != nil || csvProf.Mean() != 0.4 {
+		t.Fatalf("ReadIntensityCSV: %v", err)
+	}
+	tr, err := repro.DiurnalTrace(repro.DiurnalConfig{Seed: 1, Days: 1, StepSeconds: 900, BaseOps: 1e6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	aligned, err := prof.Align(len(tr.DemandOps), tr.StepSeconds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := repro.CompressTrace2D(tr, 32, 4, aligned)
+	if err != nil || h2.Cells() == 0 {
+		t.Fatalf("CompressTrace2D: %v", err)
+	}
+	if emb := repro.DefaultEmbodiedCarbon(); emb.KgCO2e <= 0 || emb.LifetimeHours <= 0 {
+		t.Fatalf("DefaultEmbodiedCarbon: %+v", emb)
 	}
 }

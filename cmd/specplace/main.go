@@ -15,6 +15,9 @@
 //	          [-sample-seed N] [-demand 0.5] [-cap-watts 0] [-power-off]
 //	specplace -optimize [-models 5] [-max-per-model 6] [-objective cost]
 //	          [-price 0.10] [-carbon 0.45] [-pue 1.5] [-opt-days 7]
+//	          [-intensity diurnal|duck|FILE.csv] [-rate-bins N]
+//	          [-embodied KG -lifetime-years Y]
+//	          [-regions "name:price:carbon:pue,..."]
 package main
 
 import (
@@ -23,6 +26,7 @@ import (
 	"math/rand"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 	"text/tabwriter"
 
@@ -70,6 +74,12 @@ func run(args []string, stdout, stderr io.Writer) error {
 		optDays    = fs.Int("opt-days", 7, "optimize: demand-trace length in days")
 		optStep    = fs.Float64("opt-step", 60, "optimize: demand-trace step in seconds")
 		workers    = fs.Int("workers", 0, "worker cap for the parallel search (0 = GOMAXPROCS)")
+		intens     = fs.String("intensity", "", "optimize: time-varying rate shape for the cost/carbon objective: diurnal, duck, or a CSV profile file")
+		intStep    = fs.Float64("intensity-step", 3600, "optimize: intensity profile sampling period in seconds")
+		rateBins   = fs.Int("rate-bins", 0, "optimize: intensity-axis bins of the 2-D demand×rate fold (0 = default)")
+		embodiedKg = fs.Float64("embodied", 0, "optimize: embodied carbon per server, kg CO2e, amortized over -lifetime-years (carbon objective)")
+		lifeYears  = fs.Float64("lifetime-years", 4, "optimize: server lifetime amortizing embodied carbon")
+		regionsS   = fs.String("regions", "", "optimize: siting regions as name:price:carbon:pue,... — each candidate priced at its cheapest region")
 	)
 	if done, err := cli.Parse(fs, args, stdout); done || err != nil {
 		return err
@@ -93,6 +103,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 			days: *optDays, stepSeconds: *optStep, demand: *demand,
 			tariff: trace.Tariff{USDPerKWh: *price, KgCO2PerKWh: *carbon, PUE: *pue},
 			seed:   *seed,
+			intensity: *intens, intensityStep: *intStep, rateBins: *rateBins,
+			embodiedKg: *embodiedKg, lifetimeYears: *lifeYears, regions: *regionsS,
 		})
 	}
 	fleet := make([]*placement.Profile, 0, len(servers))
@@ -167,6 +179,111 @@ func run(args []string, stdout, stderr io.Writer) error {
 	return nil
 }
 
+// buildObjective assembles the optimizer objective from the static
+// tariff plus the optional time-varying shape and region list.
+func (oc optConfig) buildObjective(metric optimize.Metric) (optimize.Objective, *trace.IntensityProfile, error) {
+	var shape *trace.IntensityProfile
+	if oc.intensity != "" {
+		if metric == optimize.MetricEnergy {
+			return optimize.Objective{}, nil, fmt.Errorf("-intensity needs -objective cost or carbon")
+		}
+		base := oc.tariff.KgCO2PerKWh
+		if metric == optimize.MetricCost {
+			base = oc.tariff.USDPerKWh
+		}
+		var err error
+		shape, err = buildShape(oc.intensity, oc.intensityStep, base)
+		if err != nil {
+			return optimize.Objective{}, nil, err
+		}
+	}
+	if oc.regions != "" {
+		regions, err := parseRegions(oc.regions, metric, shape)
+		if err != nil {
+			return optimize.Objective{}, nil, err
+		}
+		return optimize.Objective{Metric: metric, Regions: regions}, shape, nil
+	}
+	obj := optimize.Objective{Metric: metric, Tariff: oc.tariff}
+	if shape != nil {
+		if metric == optimize.MetricCost {
+			obj.Price = shape
+		} else {
+			obj.Carbon = shape
+		}
+	}
+	return obj, shape, nil
+}
+
+// buildShape resolves the -intensity argument: a generator name whose
+// mean is the matching static rate, or a CSV profile file carrying its
+// own levels.
+func buildShape(arg string, stepSec, base float64) (*trace.IntensityProfile, error) {
+	switch arg {
+	case "diurnal":
+		return trace.DiurnalIntensity(trace.IntensityConfig{StepSeconds: stepSec, BaseKgPerKWh: base})
+	case "duck":
+		return trace.DuckCurveIntensity(trace.IntensityConfig{StepSeconds: stepSec, BaseKgPerKWh: base})
+	default:
+		f, err := os.Open(arg)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return trace.ReadIntensityCSV(f, stepSec)
+	}
+}
+
+// parseRegions parses "name:price:carbon:pue,..." into siting regions.
+// When a shape is set, every region prices the objective with the same
+// shape rescaled to its own mean rate — the duck curve looks alike
+// everywhere; only the grid mix level differs.
+func parseRegions(s string, metric optimize.Metric, shape *trace.IntensityProfile) ([]optimize.Region, error) {
+	var out []optimize.Region
+	for _, ent := range strings.Split(s, ",") {
+		ent = strings.TrimSpace(ent)
+		if ent == "" {
+			continue
+		}
+		f := strings.Split(ent, ":")
+		if len(f) != 4 {
+			return nil, fmt.Errorf("region %q: want name:price:carbon:pue", ent)
+		}
+		var vals [3]float64
+		for i, fld := range f[1:] {
+			v, err := strconv.ParseFloat(strings.TrimSpace(fld), 64)
+			if err != nil {
+				return nil, fmt.Errorf("region %q: %v", ent, err)
+			}
+			vals[i] = v
+		}
+		r := optimize.Region{
+			Name:   strings.TrimSpace(f[0]),
+			Tariff: trace.Tariff{USDPerKWh: vals[0], KgCO2PerKWh: vals[1], PUE: vals[2]},
+		}
+		if shape != nil {
+			mean := vals[1]
+			if metric == optimize.MetricCost {
+				mean = vals[0]
+			}
+			p, err := shape.Scaled(mean)
+			if err != nil {
+				return nil, fmt.Errorf("region %q: %w", ent, err)
+			}
+			if metric == optimize.MetricCost {
+				r.Price = p
+			} else {
+				r.Carbon = p
+			}
+		}
+		out = append(out, r)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty -regions")
+	}
+	return out, nil
+}
+
 func load(path string, seed int64) (*dataset.Repository, error) {
 	if path == "" {
 		return synth.NewRepository(synth.Config{Seed: seed})
@@ -202,6 +319,11 @@ type optConfig struct {
 	objective                        string
 	tariff                           trace.Tariff
 	seed                             int64
+	intensity                        string
+	intensityStep                    float64
+	rateBins                         int
+	embodiedKg, lifetimeYears        float64
+	regions                          string
 }
 
 // runOptimize searches composition space over the first oc.models
@@ -239,16 +361,32 @@ func runOptimize(stdout io.Writer, servers []*dataset.Result, oc optConfig) erro
 	if err != nil {
 		return err
 	}
-	res, err := optimize.OptimizeComposition(optimize.Config{
+	obj, shape, err := oc.buildObjective(metric)
+	if err != nil {
+		return err
+	}
+	cfg := optimize.Config{
 		Models:      models,
 		Trace:       tr,
-		Objective:   optimize.Objective{Metric: metric, Tariff: oc.tariff},
+		Objective:   obj,
 		MaxPerModel: oc.maxPer,
 		CountStep:   oc.step,
 		Bins:        oc.bins,
+		RateBins:    oc.rateBins,
 		TopK:        oc.topK,
 		Seed:        oc.seed,
-	})
+	}
+	if oc.embodiedKg > 0 {
+		if oc.lifetimeYears <= 0 {
+			return fmt.Errorf("lifetime %v years", oc.lifetimeYears)
+		}
+		emb := make([]optimize.Embodied, len(models))
+		for i := range emb {
+			emb[i] = optimize.Embodied{KgCO2e: oc.embodiedKg, LifetimeHours: oc.lifetimeYears * 8766}
+		}
+		cfg.Embodied = emb
+	}
+	res, err := optimize.OptimizeComposition(cfg)
 	if err != nil {
 		return err
 	}
@@ -257,6 +395,13 @@ func runOptimize(stdout io.Writer, servers []*dataset.Result, oc optConfig) erro
 		len(models), oc.maxPer, oc.step, 4, res.SpaceSize)
 	fmt.Fprintf(stdout, "trace: %d days at %.0f s steps, peak %.2fM ops (%d-bin histogram)\n",
 		oc.days, oc.stepSeconds, st.PeakOps/1e6, res.Bins)
+	if res.Cells > 0 {
+		name := "regional"
+		if shape != nil {
+			name = shape.Name
+		}
+		fmt.Fprintf(stdout, "rates: time-varying (%s) folded into %d demand×rate cells\n", name, res.Cells)
+	}
 	mode := "exhaustive"
 	if !res.Exhaustive {
 		mode = "beam"
@@ -265,8 +410,13 @@ func runOptimize(stdout io.Writer, servers []*dataset.Result, oc optConfig) erro
 		mode, res.Evaluated, res.Pruned, res.Infeasible)
 
 	unit := metric.Unit()
+	withRegion := res.Best.Region != ""
 	tw := tabwriter.NewWriter(stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintf(tw, "rank\tcomposition\tpolicy\tservers\tcapacity (M ops)\tenergy (kWh)\t%s (exact)\n", unit)
+	regionCol := ""
+	if withRegion {
+		regionCol = "\tregion"
+	}
+	fmt.Fprintf(tw, "rank\tcomposition\tpolicy\tservers\tcapacity (M ops)\tenergy (kWh)\t%s (exact)%s\n", unit, regionCol)
 	for i, c := range res.TopK {
 		var parts []string
 		for m, n := range c.Counts {
@@ -274,13 +424,28 @@ func runOptimize(stdout io.Writer, servers []*dataset.Result, oc optConfig) erro
 				parts = append(parts, fmt.Sprintf("%dx %s", n, models[m].ID))
 			}
 		}
-		fmt.Fprintf(tw, "#%d\t%s\t%s\t%d\t%.2f\t%.1f\t%.4g\n",
+		if withRegion {
+			regionCol = "\t" + c.Region
+		}
+		fmt.Fprintf(tw, "#%d\t%s\t%s\t%d\t%.2f\t%.1f\t%.4g%s\n",
 			i+1, strings.Join(parts, " + "), c.Policy.String(),
-			c.Servers, c.CapacityOps/1e6, c.ExactEnergyKWh, c.ExactObjective)
+			c.Servers, c.CapacityOps/1e6, c.ExactEnergyKWh, c.ExactObjective, regionCol)
 	}
 	tw.Flush()
 
 	best := res.Best
+	if res.Cells > 0 || withRegion || oc.embodiedKg > 0 {
+		// Static post-hoc billing would misprice a time-varying rate;
+		// the exact objective already carries the per-step accounting
+		// (and any embodied amortization).
+		where := ""
+		if withRegion {
+			where = " in " + best.Region
+		}
+		fmt.Fprintf(stdout, "\noptimum: %.1f kWh IT energy over %d days -> %.4g %s%s\n",
+			best.ExactEnergyKWh, oc.days, best.ExactObjective, unit, where)
+		return nil
+	}
 	bill, err := optimize.Objective{Metric: metric, Tariff: oc.tariff}.Bill(best.ExactEnergyKWh)
 	if err != nil {
 		return err

@@ -99,6 +99,55 @@ func TestOptimizeDigestWorkerInvariant(t *testing.T) {
 	}
 }
 
+// TestOptimizeCarbonAware covers the time-varying flags: intensity
+// shapes, the region list, and embodied amortization, all worker-
+// invariant on the report digest.
+func TestOptimizeCarbonAware(t *testing.T) {
+	base := []string{
+		"-optimize", "-models", "4", "-max-per-model", "4",
+		"-opt-days", "2", "-opt-step", "300", "-objective", "carbon",
+	}
+	runOut := func(args ...string) string {
+		t.Helper()
+		var out, errBuf bytes.Buffer
+		if err := run(append(append([]string{}, base...), args...), &out, &errBuf); err != nil {
+			t.Fatal(err)
+		}
+		return out.String()
+	}
+
+	var first string
+	for _, workers := range []string{"1", "2", "8"} {
+		s := runOut("-intensity", "duck", "-rate-bins", "6", "-embodied", "1300", "-workers", workers)
+		sum := sha256.Sum256([]byte(s))
+		digest := hex.EncodeToString(sum[:])
+		if first == "" {
+			first = digest
+			for _, want := range []string{"rates: time-varying (duck)", "demand×rate cells", "optimum:", "kgCO2"} {
+				if !strings.Contains(s, want) {
+					t.Errorf("report missing %q:\n%s", want, s)
+				}
+			}
+		} else if digest != first {
+			t.Fatalf("workers=%s digest differs", workers)
+		}
+	}
+
+	// A constant rate must keep the static 1-D path: no fold line.
+	if s := runOut(); strings.Contains(s, "rates: time-varying") {
+		t.Errorf("static run reports a fold:\n%s", s)
+	}
+
+	// Regions: the report gains a region column and sites the optimum.
+	s := runOut("-intensity", "diurnal",
+		"-regions", "dirty:0.10:0.45:1.5, clean:0.12:0.15:1.2")
+	for _, want := range []string{"region", "clean", "optimum:", " in clean"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("region report missing %q:\n%s", want, s)
+		}
+	}
+}
+
 // TestOptimizeBadArgs covers optimize-mode flag validation.
 func TestOptimizeBadArgs(t *testing.T) {
 	cases := [][]string{
@@ -107,6 +156,14 @@ func TestOptimizeBadArgs(t *testing.T) {
 		{"-optimize", "-demand", "1.5"},
 		{"-optimize", "-models", "0"},
 		{"-optimize", "-top", "-1"},
+		{"-optimize", "-intensity", "diurnal"},
+		{"-optimize", "-objective", "carbon", "-intensity", "/nope/missing.csv"},
+		{"-optimize", "-objective", "carbon", "-intensity", "diurnal", "-intensity-step", "700"},
+		{"-optimize", "-objective", "carbon", "-regions", "a:0.1:0.45"},
+		{"-optimize", "-objective", "carbon", "-regions", "a:0.1:zz:1.5"},
+		{"-optimize", "-objective", "carbon", "-regions", " , "},
+		{"-optimize", "-objective", "carbon", "-embodied", "1300", "-lifetime-years", "0"},
+		{"-optimize", "-objective", "cost", "-embodied", "1300"},
 	}
 	for _, args := range cases {
 		var out, errBuf bytes.Buffer

@@ -331,6 +331,8 @@ func checkScrape(srv *serve.Server, client *http.Client, base string, synthetic 
 	for _, name := range []string{
 		"spec_corpus_servers", "spec_corpus_ep", "spec_corpus_idle_fraction",
 		"spec_fleet_ep", "spec_fleet_power_watts", "spec_fleet_active_servers",
+		"spec_carbon_intensity_kg_per_kwh", "spec_fleet_carbon_rate_kg_per_hour",
+		"spec_fleet_embodied_carbon_rate_kg_per_hour",
 		"spec_serve_requests", "spec_serve_response_cache_entries",
 		"spec_workspace_resident", "spec_serve_reload_generation",
 	} {

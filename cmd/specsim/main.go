@@ -13,6 +13,7 @@
 //	        [-hyst STEPS] [-headroom F] [-min-active N]
 //	        [-on SEC] [-off SEC] [-latency-every N]
 //	        [-price USD] [-carbon KG] [-pue F]
+//	        [-intensity diurnal|duck|FILE.csv] [-intensity-step SEC]
 package main
 
 import (
@@ -65,6 +66,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 		price    = fs.Float64("price", 0, "electricity price, USD per kWh (0 = no cost line)")
 		carbon   = fs.Float64("carbon", 0, "grid carbon intensity, kg CO2 per kWh (0 = no carbon line)")
 		pue      = fs.Float64("pue", 1, "facility power usage effectiveness for cost/carbon pricing")
+		intens   = fs.String("intensity", "", "time-varying grid intensity: diurnal, duck, or a CSV profile file (empty = static -carbon rate)")
+		intStep  = fs.Float64("intensity-step", 3600, "intensity profile sampling period in seconds")
 	)
 	if done, err := cli.Parse(fs, args, stdout); done || err != nil {
 		return err
@@ -104,6 +107,18 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return err
 	}
 
+	// A time-varying intensity profile switches carbon accounting from
+	// the static post-hoc bill to per-step billing inside the stepper;
+	// -carbon then sets the generated profile's mean rather than a flat
+	// rate (a CSV profile carries its own levels).
+	var prof *trace.IntensityProfile
+	if *intens != "" {
+		prof, err = buildIntensity(*intens, *intStep, *carbon)
+		if err != nil {
+			return err
+		}
+	}
+
 	cfg := fleetsim.Config{
 		Members: fleet,
 		Policy:  policy,
@@ -118,11 +133,19 @@ func run(args []string, stdout, stderr io.Writer) error {
 		Latency: fleetsim.LatencyConfig{Every: *latEvery},
 		Seed:    *seed,
 	}
+	if prof != nil {
+		cfg.Carbon = prof
+		cfg.PUE = *pue
+	}
 
 	if *format == "csv" {
-		fmt.Fprintln(stdout, "step,demand_ops,served_ops,unserved_ops,active,powered_on,powered_off,power_w,transition_j,energy_j,latency_p50_s,latency_p95_s,latency_p99_s")
+		header := "step,demand_ops,served_ops,unserved_ops,active,powered_on,powered_off,power_w,transition_j,energy_j,latency_p50_s,latency_p95_s,latency_p99_s"
+		if prof != nil {
+			header += ",carbon_kg"
+		}
+		fmt.Fprintln(stdout, header)
 		cfg.Sink = func(s fleetsim.StepStats) error {
-			return writeCSVStep(stdout, s)
+			return writeCSVStep(stdout, s, prof != nil)
 		}
 	}
 	res, err := fleetsim.Run(cfg)
@@ -134,8 +157,14 @@ func run(args []string, stdout, stderr io.Writer) error {
 	// appear when a rate is set, so default output (and its golden
 	// digests) is unchanged.
 	var bill *trace.Bill
-	if *price != 0 || *carbon != 0 {
-		o := optimize.Objective{Tariff: trace.Tariff{USDPerKWh: *price, KgCO2PerKWh: *carbon, PUE: *pue}}
+	staticCarbon := *carbon
+	if prof != nil {
+		// Carbon is billed per step from the profile; the static bill
+		// keeps only the cost/facility lines.
+		staticCarbon = 0
+	}
+	if *price != 0 || staticCarbon != 0 {
+		o := optimize.Objective{Tariff: trace.Tariff{USDPerKWh: *price, KgCO2PerKWh: staticCarbon, PUE: *pue}}
 		b, err := o.Bill(res.EnergyKWh)
 		if err != nil {
 			return err
@@ -163,16 +192,55 @@ func run(args []string, stdout, stderr io.Writer) error {
 		if bill != nil {
 			obj["Bill"] = bill
 		}
+		if prof != nil {
+			obj["Intensity"] = map[string]any{
+				"Name":         prof.Name,
+				"StepSeconds":  prof.StepSeconds,
+				"Steps":        len(prof.Rates),
+				"MeanKgPerKWh": prof.Mean(),
+			}
+		}
 		return enc.Encode(obj)
 	case "text":
 		writeText(stdout, res)
+		if prof != nil {
+			writeIntensity(stdout, res, prof, *pue)
+		}
 		if bill != nil {
-			writeBill(stdout, *bill, *price, *carbon, *pue)
+			writeBill(stdout, *bill, *price, staticCarbon, *pue)
 		}
 		return nil
 	default:
 		return fmt.Errorf("unknown format %q", *format)
 	}
+}
+
+// buildIntensity resolves the -intensity argument: a generator name
+// (diurnal, duck) whose mean is the -carbon rate when one is set, or a
+// CSV profile file carrying its own rates.
+func buildIntensity(arg string, stepSec, baseKgPerKWh float64) (*trace.IntensityProfile, error) {
+	switch arg {
+	case "diurnal":
+		return trace.DiurnalIntensity(trace.IntensityConfig{StepSeconds: stepSec, BaseKgPerKWh: baseKgPerKWh})
+	case "duck":
+		return trace.DuckCurveIntensity(trace.IntensityConfig{StepSeconds: stepSec, BaseKgPerKWh: baseKgPerKWh})
+	default:
+		f, err := os.Open(arg)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return trace.ReadIntensityCSV(f, stepSec)
+	}
+}
+
+// writeIntensity appends the time-varying carbon summary lines.
+func writeIntensity(w io.Writer, res fleetsim.Result, prof *trace.IntensityProfile, pue float64) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "intensity\t%s (%d × %.0f s, mean %.3g kg/kWh)\n",
+		prof.Name, len(prof.Rates), prof.StepSeconds, prof.Mean())
+	fmt.Fprintf(tw, "carbon\t%.1f kgCO2 time-varying (PUE %.2f)\n", res.CarbonKg, pue)
+	tw.Flush()
 }
 
 // writeBill appends the priced summary lines.
@@ -232,7 +300,7 @@ func buildTrace(arg string, seed int64, stepSec, days, baseOps, swing float64) (
 // writeCSVStep emits one per-interval row. Floats format with
 // round-trip precision so the byte stream is a faithful image of the
 // simulation — the golden-digest tests hash it across worker counts.
-func writeCSVStep(w io.Writer, s fleetsim.StepStats) error {
+func writeCSVStep(w io.Writer, s fleetsim.StepStats, withCarbon bool) error {
 	var b strings.Builder
 	b.Grow(192)
 	b.WriteString(strconv.Itoa(s.Step))
@@ -255,6 +323,10 @@ func writeCSVStep(w io.Writer, s fleetsim.StepStats) error {
 		}
 	} else {
 		b.WriteString(",,,")
+	}
+	if withCarbon {
+		b.WriteByte(',')
+		b.WriteString(strconv.FormatFloat(s.CarbonKg, 'g', -1, 64))
 	}
 	b.WriteByte('\n')
 	_, err := io.WriteString(w, b.String())

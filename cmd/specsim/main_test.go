@@ -152,6 +152,102 @@ func TestPricedSummary(t *testing.T) {
 	}
 }
 
+// TestIntensityCSVDigestWorkerInvariant extends the golden
+// worker-invariance check to time-varying carbon billing: with an
+// intensity profile attached the per-step CSV gains a carbon_kg column
+// and must stay byte-identical at workers 1, 2, and 8.
+func TestIntensityCSVDigestWorkerInvariant(t *testing.T) {
+	var first string
+	for _, workers := range []string{"1", "2", "8"} {
+		var out, errBuf bytes.Buffer
+		err := run([]string{
+			"-servers", "64", "-duration", "2", "-step", "300",
+			"-format", "csv", "-workers", workers,
+			"-intensity", "diurnal", "-pue", "1.5",
+		}, &out, &errBuf)
+		if err != nil {
+			t.Fatalf("workers=%s: %v", workers, err)
+		}
+		sum := sha256.Sum256(out.Bytes())
+		digest := hex.EncodeToString(sum[:])
+		if first == "" {
+			first = digest
+			s := out.String()
+			header := s[:strings.IndexByte(s, '\n')]
+			if !strings.HasSuffix(header, ",carbon_kg") {
+				t.Fatalf("header missing carbon column: %q", header)
+			}
+			rows := strings.Split(strings.TrimSpace(s), "\n")[1:]
+			if len(rows) != 576 {
+				t.Fatalf("csv rows = %d, want 576", len(rows))
+			}
+			for i, row := range rows {
+				cols := strings.Split(row, ",")
+				if v := cols[len(cols)-1]; v == "" || v == "0" {
+					t.Fatalf("row %d carbon_kg = %q, want positive", i, v)
+				}
+			}
+		} else if digest != first {
+			t.Fatalf("workers=%s digest %s != workers=1 digest %s", workers, digest, first)
+		}
+	}
+}
+
+// TestIntensitySummaries covers the time-varying carbon lines in text
+// and JSON, including a CSV profile file and duck-curve generator.
+func TestIntensitySummaries(t *testing.T) {
+	base := []string{"-servers", "50", "-duration", "1", "-step", "300"}
+	var text, errBuf bytes.Buffer
+	err := run(append(base, "-intensity", "duck", "-carbon", "0.5", "-pue", "1.5"), &text, &errBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The duck curve's solar trough pulls its mean below the 0.5 base.
+	for _, want := range []string{"intensity", "duck", "mean 0.45", "kg/kWh", "kgCO2 time-varying", "PUE 1.50"} {
+		if !strings.Contains(text.String(), want) {
+			t.Errorf("summary missing %q:\n%s", want, text.String())
+		}
+	}
+
+	path := filepath.Join(t.TempDir(), "grid.csv")
+	data := "time_s,kg_per_kwh\n0,0.2\n3600,0.6\n"
+	if err := os.WriteFile(path, []byte(data), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var jsonOut bytes.Buffer
+	err = run(append(base, "-format", "json", "-intensity", path), &jsonOut, &errBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res struct {
+		CarbonKg  float64 `json:"CarbonKg"`
+		Intensity *struct {
+			Name         string
+			Steps        int
+			MeanKgPerKWh float64
+		} `json:"Intensity"`
+	}
+	if err := json.Unmarshal(jsonOut.Bytes(), &res); err != nil {
+		t.Fatalf("bad json: %v\n%s", err, jsonOut.String())
+	}
+	if res.CarbonKg <= 0 || res.Intensity == nil {
+		t.Fatalf("json missing carbon accounting:\n%s", jsonOut.String())
+	}
+	if res.Intensity.Name != "csv" || res.Intensity.Steps != 2 || res.Intensity.MeanKgPerKWh != 0.4 {
+		t.Errorf("intensity block %+v", res.Intensity)
+	}
+
+	var plain bytes.Buffer
+	if err := run(append(base, "-format", "json"), &plain, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	for _, stray := range []string{"Intensity", "CarbonKg"} {
+		if strings.Contains(plain.String(), stray) {
+			t.Errorf("default JSON carries %q:\n%s", stray, plain.String())
+		}
+	}
+}
+
 func TestBadArgs(t *testing.T) {
 	cases := [][]string{
 		{"-policy", "nonsense"},
@@ -161,6 +257,11 @@ func TestBadArgs(t *testing.T) {
 		{"-servers", "0"},
 		{"-price", "-1"},
 		{"-price", "0.1", "-pue", "0.5"},
+		{"-intensity", "/nope/missing.csv"},
+		{"-intensity", "diurnal", "-carbon", "-0.4"},
+		{"-intensity", "diurnal", "-intensity-step", "-60"},
+		{"-intensity", "diurnal", "-intensity-step", "700"},
+		{"-intensity", "diurnal", "-pue", "0.5"},
 	}
 	for _, args := range cases {
 		var out, errBuf bytes.Buffer

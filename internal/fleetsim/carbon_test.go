@@ -1,0 +1,154 @@
+package fleetsim
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/par"
+	"repro/internal/trace"
+)
+
+// carbonConfig builds a managed fleet over 1.5 segments with carbon
+// and price profiles attached, so billing crosses a segment boundary.
+func carbonConfig(t *testing.T) Config {
+	t.Helper()
+	rng := rand.New(rand.NewSource(23))
+	fleet := uniformFleet(t, 20, 1000, 80, 220)
+	prof, err := trace.DiurnalIntensity(trace.IntensityConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	price, err := prof.Scaled(0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Config{
+		Members: fleet,
+		Policy:  cluster.PolicyPackPowerOff,
+		Trace:   testTrace(rng, segmentSteps+segmentSteps/2, 20*1000),
+		Power:   PowerConfig{OnSeconds: 30, OffSeconds: 10, HysteresisSteps: 5, MinActive: 1},
+		Carbon:  prof,
+		Price:   price,
+		PUE:     1.5,
+	}
+}
+
+// TestCarbonBillingMatchesPerStep checks the billing arithmetic per
+// step against the aligned profile, and the summary against the
+// per-step totals.
+func TestCarbonBillingMatchesPerStep(t *testing.T) {
+	cfg := carbonConfig(t)
+	carbon, err := cfg.Carbon.Align(len(cfg.Trace.DemandOps), cfg.Trace.StepSeconds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	price, err := cfg.Price.Align(len(cfg.Trace.DemandOps), cfg.Trace.StepSeconds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var steps []StepStats
+	cfg.Sink = func(s StepStats) error { steps = append(steps, s); return nil }
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sumKg, sumUSD float64
+	for i, s := range steps {
+		wantKg := carbon[i] * (s.EnergyJ * 1.5 / 3.6e6)
+		wantUSD := price[i] * (s.EnergyJ * 1.5 / 3.6e6)
+		if math.Float64bits(s.CarbonKg) != math.Float64bits(wantKg) {
+			t.Fatalf("step %d CarbonKg %v, want %v", i, s.CarbonKg, wantKg)
+		}
+		if math.Float64bits(s.CostUSD) != math.Float64bits(wantUSD) {
+			t.Fatalf("step %d CostUSD %v, want %v", i, s.CostUSD, wantUSD)
+		}
+		sumKg += s.CarbonKg
+		sumUSD += s.CostUSD
+	}
+	if res.CarbonKg <= 0 || math.Abs(res.CarbonKg-sumKg)/sumKg > 1e-12 {
+		t.Fatalf("summary CarbonKg %v, per-step sum %v", res.CarbonKg, sumKg)
+	}
+	if res.CostUSD <= 0 || math.Abs(res.CostUSD-sumUSD)/sumUSD > 1e-12 {
+		t.Fatalf("summary CostUSD %v, per-step sum %v", res.CostUSD, sumUSD)
+	}
+}
+
+// TestConstantProfileMatchesStaticBill: a constant intensity profile
+// reproduces the static Tariff bill of the same run.
+func TestConstantProfileMatchesStaticBill(t *testing.T) {
+	cfg := carbonConfig(t)
+	cfg.Carbon = &trace.IntensityProfile{StepSeconds: 3600, Rates: []float64{0.45}}
+	cfg.Price = &trace.IntensityProfile{StepSeconds: 3600, Rates: []float64{0.10}}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bill, err := trace.Tariff{USDPerKWh: 0.10, KgCO2PerKWh: 0.45, PUE: 1.5}.BillOf(res.EnergyKWh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.CarbonKg-bill.KgCO2)/bill.KgCO2 > 1e-9 {
+		t.Fatalf("constant-profile carbon %v, static bill %v", res.CarbonKg, bill.KgCO2)
+	}
+	if math.Abs(res.CostUSD-bill.USD)/bill.USD > 1e-9 {
+		t.Fatalf("constant-profile cost %v, static bill %v", res.CostUSD, bill.USD)
+	}
+}
+
+// TestCarbonBillingWorkerInvariant: billed summaries are identical at
+// any worker count.
+func TestCarbonBillingWorkerInvariant(t *testing.T) {
+	cfg := carbonConfig(t)
+	defer par.SetMaxWorkers(par.MaxWorkers())
+	var results []Result
+	for _, workers := range []int{1, 2, 8} {
+		par.SetMaxWorkers(workers)
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		results = append(results, res)
+	}
+	for _, res := range results[1:] {
+		if !reflect.DeepEqual(res, results[0]) {
+			t.Fatalf("billed summary differs across worker counts:\n%+v\n%+v", results[0], res)
+		}
+	}
+}
+
+func TestCarbonBillingValidation(t *testing.T) {
+	var re *trace.RateError
+	cfg := carbonConfig(t)
+	cfg.PUE = 0.5
+	if _, err := Run(cfg); !errors.As(err, &re) {
+		t.Fatalf("PUE 0.5: got %v, want *trace.RateError", err)
+	}
+
+	cfg = carbonConfig(t)
+	cfg.Carbon = &trace.IntensityProfile{StepSeconds: 700, Rates: []float64{1, 2}}
+	var ae *trace.AlignError
+	if _, err := Run(cfg); !errors.As(err, &ae) {
+		t.Fatalf("misaligned profile: got %v, want *trace.AlignError", err)
+	}
+
+	cfg = carbonConfig(t)
+	cfg.Price = &trace.IntensityProfile{StepSeconds: 3600, Rates: []float64{math.NaN()}}
+	if _, err := Run(cfg); !errors.As(err, &re) {
+		t.Fatalf("NaN price: got %v, want *trace.RateError", err)
+	}
+
+	// Unpriced runs stay all-zero on the billing fields.
+	cfg = carbonConfig(t)
+	cfg.Carbon, cfg.Price, cfg.PUE = nil, nil, 0
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CarbonKg != 0 || res.CostUSD != 0 {
+		t.Fatalf("unpriced run billed: %+v", res)
+	}
+}

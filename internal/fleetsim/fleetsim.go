@@ -93,6 +93,21 @@ type Config struct {
 	Seed int64
 	// Sink, when set, receives every step's accounting in step order.
 	Sink func(StepStats) error
+
+	// Carbon, when set, is a time-varying grid carbon-intensity profile
+	// (kgCO₂/kWh) aligned to the trace at validation; each step books
+	// CarbonKg = rate(t) × facility energy. Price does the same for a
+	// USD/kWh signal. PUE scales IT energy to facility energy for both
+	// (zero means 1.0). Billing is an O(1) per-step lookup into the
+	// aligned rate slice, so a priced run costs the same as an unpriced
+	// one.
+	Carbon *trace.IntensityProfile
+	Price  *trace.IntensityProfile
+	PUE    float64
+
+	// carbonRates/priceRates are the profiles aligned to one rate per
+	// trace step, set by validate.
+	carbonRates, priceRates []float64
 }
 
 // StepStats is one interval's accounting.
@@ -116,6 +131,11 @@ type StepStats struct {
 	// interval; the percentiles are batch response times in seconds.
 	Sampled                            bool
 	LatencyP50, LatencyP95, LatencyP99 float64
+	// CarbonKg and CostUSD price this step's facility energy at the
+	// step's aligned Carbon/Price rates; zero unless the profiles are
+	// configured.
+	CarbonKg float64 `json:",omitempty"`
+	CostUSD  float64 `json:",omitempty"`
 }
 
 // Result summarizes a simulation.
@@ -146,6 +166,11 @@ type Result struct {
 	LatencySamples                              int
 	AvgLatencyP50, AvgLatencyP95, AvgLatencyP99 float64
 	MaxLatencyP99                               float64
+
+	// CarbonKg and CostUSD total the per-step time-varying billing;
+	// zero unless Config.Carbon/Price are set.
+	CarbonKg float64 `json:",omitempty"`
+	CostUSD  float64 `json:",omitempty"`
 }
 
 // validate checks the configuration and composes the fleet evaluator.
@@ -167,6 +192,24 @@ func validate(cfg *Config) (*cluster.Evaluator, error) {
 	}
 	if cfg.Latency.Every < 0 {
 		return nil, fmt.Errorf("fleetsim: latency sample period %d", cfg.Latency.Every)
+	}
+	if cfg.PUE != 0 && (cfg.PUE < 1 || math.IsNaN(cfg.PUE) || math.IsInf(cfg.PUE, 0)) {
+		return nil, &trace.RateError{Field: "PUE", Index: -1, Value: cfg.PUE}
+	}
+	cfg.carbonRates, cfg.priceRates = nil, nil
+	if cfg.Carbon != nil {
+		rates, err := cfg.Carbon.Align(len(cfg.Trace.DemandOps), cfg.Trace.StepSeconds)
+		if err != nil {
+			return nil, fmt.Errorf("fleetsim: carbon profile: %w", err)
+		}
+		cfg.carbonRates = rates
+	}
+	if cfg.Price != nil {
+		rates, err := cfg.Price.Align(len(cfg.Trace.DemandOps), cfg.Trace.StepSeconds)
+		if err != nil {
+			return nil, fmt.Errorf("fleetsim: price profile: %w", err)
+		}
+		cfg.priceRates = rates
 	}
 	if len(cfg.Groups) > 0 {
 		if len(cfg.Members) > 0 {
@@ -199,6 +242,7 @@ type segPartial struct {
 	activeSum            int64
 	minActive, maxActive int
 	onN, offN            int
+	carbonKg, costUSD    float64
 
 	latCount               int
 	latP50, latP95, latP99 float64
@@ -227,6 +271,8 @@ func (p *segPartial) add(s StepStats) {
 	}
 	p.onN += s.PoweredOn
 	p.offN += s.PoweredOff
+	p.carbonKg += s.CarbonKg
+	p.costUSD += s.CostUSD
 	if s.Sampled {
 		p.latCount++
 		p.latP50 += s.LatencyP50
@@ -328,6 +374,8 @@ func mergePartial(res *Result, p *segPartial) {
 	}
 	res.PoweredOn += p.onN
 	res.PoweredOff += p.offN
+	res.CarbonKg += p.carbonKg
+	res.CostUSD += p.costUSD
 	res.LatencySamples += p.latCount
 	res.AvgLatencyP50 += p.latP50
 	res.AvgLatencyP95 += p.latP95

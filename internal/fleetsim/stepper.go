@@ -212,6 +212,23 @@ func (st *Stepper) Step(demandOps float64) StepStats {
 	s.ServedOps = served
 	s.UnservedOps = d - served
 
+	// Time-varying billing: one aligned-slice lookup per configured
+	// signal, facility energy via PUE, J → kWh. The index guard covers
+	// direct Stepper callers stepping past the trace end.
+	if st.cfg.carbonRates != nil || st.cfg.priceRates != nil {
+		pue := st.cfg.PUE
+		if pue == 0 {
+			pue = 1
+		}
+		facilityKWh := s.EnergyJ * pue / 3.6e6
+		if r := st.cfg.carbonRates; t < len(r) {
+			s.CarbonKg = r[t] * facilityKWh
+		}
+		if r := st.cfg.priceRates; t < len(r) {
+			s.CostUSD = r[t] * facilityKWh
+		}
+	}
+
 	if every := st.cfg.Latency.Every; every > 0 && t%every == 0 {
 		st.sampleLatency(&s, served)
 	}

@@ -83,15 +83,26 @@ func ParseMetric(s string) (Metric, error) {
 }
 
 // Objective is a trace-weighted minimization target: a metric priced
-// by a tariff. The zero Objective minimizes IT energy at PUE 1.
+// by a tariff, optionally time-varying and multi-region. The zero
+// Objective minimizes IT energy at PUE 1.
 type Objective struct {
 	Metric Metric
 	Tariff trace.Tariff
+	// Carbon, when set, replaces the tariff's static KgCO2PerKWh with
+	// a time-varying intensity profile; Price does the same for
+	// USDPerKWh. Only the profile matching the metric participates.
+	Carbon *trace.IntensityProfile
+	Price  *trace.IntensityProfile
+	// Regions, when set, evaluates the objective in every region in
+	// one pass and scores each candidate at its cheapest region; the
+	// top-level Tariff and profiles must then be left unset.
+	Regions []Region
 }
 
-// Validate checks that the objective is priceable: the tariff must be
-// valid, and cost/carbon metrics need a positive rate (minimizing a
-// uniformly zero objective would report a meaningless optimum).
+// Validate checks that the objective is priceable: tariffs and
+// profiles must be valid, and cost/carbon metrics need a positive rate
+// from either the static tariff or a profile (minimizing a uniformly
+// zero objective would report a meaningless optimum).
 func (o Objective) Validate() error {
 	m := o.Metric
 	if m == 0 {
@@ -100,8 +111,29 @@ func (o Objective) Validate() error {
 	if m != MetricEnergy && m != MetricCost && m != MetricCarbon {
 		return fmt.Errorf("optimize: unknown metric %d", int(m))
 	}
-	if _, err := o.Tariff.BillOf(0); err != nil {
+	if len(o.Regions) > 0 {
+		if o.Carbon != nil || o.Price != nil {
+			return fmt.Errorf("optimize: set profiles per region, not on the objective, when Regions are configured")
+		}
+		for i, r := range o.Regions {
+			sub := Objective{Metric: o.Metric, Tariff: r.Tariff, Carbon: r.Carbon, Price: r.Price}
+			if err := sub.Validate(); err != nil {
+				return fmt.Errorf("optimize: region %d (%s): %w", i, r.Name, err)
+			}
+		}
+		return nil
+	}
+	if err := o.Tariff.Validate(); err != nil {
 		return err
+	}
+	if prof := metricProfile(m, o.Carbon, o.Price); prof != nil {
+		if err := prof.Validate(); err != nil {
+			return err
+		}
+		if prof.Mean() <= 0 {
+			return fmt.Errorf("optimize: %s profile is uniformly zero", m)
+		}
+		return nil
 	}
 	if m == MetricCost && o.Tariff.USDPerKWh <= 0 {
 		return fmt.Errorf("optimize: cost objective needs a positive price, got %v $/kWh", o.Tariff.USDPerKWh)

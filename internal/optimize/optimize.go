@@ -34,6 +34,16 @@ type Config struct {
 	MaxPerModel, CountStep int
 	// Bins is the demand-histogram resolution (0 = 128).
 	Bins int
+	// RateBins is the intensity-axis resolution of the 2-D
+	// demand×intensity histogram (0 = 4); only used when the objective
+	// carries a time-varying profile. For smooth diurnal-scale
+	// profiles the demand axis dominates the fold error, so a few rate
+	// bins suffice (raising this past ~8 buys accuracy in the fifth
+	// decimal at linear scoring cost).
+	RateBins int
+	// Embodied, when set, must parallel Models: each model's embodied-
+	// carbon amortization, charged per server on the carbon objective.
+	Embodied []Embodied
 	// TopK is the shortlist replayed exactly through fleetsim (0 = 5).
 	TopK int
 	// Power prices the exact replay's transitions and hysteresis.
@@ -70,6 +80,9 @@ type Candidate struct {
 	// (transition energy, hysteresis); Exact reports whether they are.
 	ExactEnergyKWh, ExactObjective float64
 	Exact                          bool
+	// Region names the cheapest region for this candidate when the
+	// objective is multi-region; empty otherwise.
+	Region string `json:",omitempty"`
 }
 
 // Result is the outcome of a composition search.
@@ -91,6 +104,10 @@ type Result struct {
 	Exhaustive                    bool
 	// Bins is the histogram resolution used for scoring.
 	Bins int
+	// Cells is the occupied cell count of the 2-D demand×intensity
+	// histogram; zero when the objective is static and scoring used the
+	// 1-D path.
+	Cells int `json:",omitempty"`
 }
 
 // searchSegment is the fixed candidate-segment size the exhaustive
@@ -106,6 +123,18 @@ type space struct {
 	policies []cluster.Policy
 	hist     *trace.Hist
 	rate     float64
+	// plans is the normalized per-region pricing; hist2 is the 2-D
+	// demand×intensity fold, built only when some plan varies in time
+	// (varying). Static objectives keep the legacy 1-D arithmetic
+	// verbatim — bitwise-identical results. embodiedKg is each model's
+	// per-server amortized embodied charge over the trace window, nil
+	// when unused; staticReg is the argmin region of an all-static
+	// multi-region objective.
+	plans      []ratePlan
+	hist2      *trace.Hist2D
+	varying    bool
+	embodiedKg []float64
+	staticReg  int
 	// countOf maps a digit to a server count; radix is the digit count.
 	step, radix int
 	// perOps is each model's capacity; lbEE / lbIdleW are the
@@ -128,6 +157,9 @@ func OptimizeComposition(cfg Config) (Result, error) {
 		return Result{}, err
 	}
 	res := Result{SpaceSize: sp.size, Bins: len(sp.hist.BinOps)}
+	if sp.hist2 != nil {
+		res.Cells = sp.hist2.Cells()
+	}
 
 	// Incumbent phase: minimal feasible homogeneous fleets seed the
 	// pruning bound. The bound is the k-th best incumbent objective, so
@@ -305,6 +337,54 @@ func newSpace(cfg Config) (*space, error) {
 		}
 		sp.size *= int64(sp.radix)
 	}
+
+	// Normalize the objective into per-region rate plans. All-static
+	// plans collapse to the legacy single-rate arithmetic (sp.rate);
+	// a time-varying plan switches scoring to the 2-D fold.
+	plans, sets, err := newPlans(&cfg)
+	if err != nil {
+		return nil, err
+	}
+	sp.plans = plans
+	if len(sets) > 0 {
+		rateBins := cfg.RateBins
+		if rateBins == 0 {
+			rateBins = 4
+		}
+		if rateBins < 1 {
+			return nil, fmt.Errorf("optimize: invalid RateBins %d", cfg.RateBins)
+		}
+		hist2, err := cfg.Trace.Compress2D(bins, rateBins, sets...)
+		if err != nil {
+			return nil, err
+		}
+		sp.hist2 = hist2
+		sp.varying = true
+	} else {
+		sp.rate, sp.staticReg = staticRate(plans)
+	}
+
+	if len(cfg.Embodied) > 0 {
+		metric := cfg.Objective.Metric
+		if metric == 0 {
+			metric = MetricEnergy
+		}
+		if metric != MetricCarbon {
+			return nil, fmt.Errorf("optimize: embodied carbon applies to the carbon objective, not %s", metric)
+		}
+		if len(cfg.Embodied) != len(sp.models) {
+			return nil, fmt.Errorf("optimize: %d embodied entries for %d models", len(cfg.Embodied), len(sp.models))
+		}
+		traceHours := hist.Duration() / 3600
+		sp.embodiedKg = make([]float64, len(cfg.Embodied))
+		for i, e := range cfg.Embodied {
+			kg, err := e.perTraceKg(traceHours)
+			if err != nil {
+				return nil, fmt.Errorf("optimize: embodied model %d: %w", i, err)
+			}
+			sp.embodiedKg[i] = kg
+		}
+	}
 	return sp, nil
 }
 
@@ -373,6 +453,9 @@ func (sp *space) feasible(counts []int) bool {
 // haircut absorbs float rounding so a bound can never cross the score
 // it brackets.
 func (sp *space) lowerBound(counts []int, policy cluster.Policy) float64 {
+	if sp.varying {
+		return sp.lowerBound2D(counts, policy)
+	}
 	bestEE := math.Inf(-1)
 	idleW := 0.0
 	for m, c := range counts {
@@ -392,13 +475,16 @@ func (sp *space) lowerBound(counts []int, policy cluster.Policy) float64 {
 		w := math.Max(served/bestEE, idleW)
 		joules += sp.hist.Weight[b] * w * sp.hist.StepSeconds
 	}
-	return sp.rate * (joules / 3.6e6) * (1 - 1e-9)
+	return sp.rate*(joules/3.6e6)*(1-1e-9) + sp.embodiedOf(counts)
 }
 
 // score evaluates one candidate against the demand histogram: a
 // grouped evaluator over the multiset, one power evaluation per bin.
 // Returns ok=false for infeasible candidates.
 func (sp *space) score(id int64) (Candidate, bool) {
+	if sp.varying {
+		return sp.score2D(id)
+	}
 	counts := make([]int, len(sp.models))
 	policy := sp.decode(id, counts)
 	if !sp.feasible(counts) {
@@ -422,15 +508,19 @@ func (sp *space) score(id int64) (Candidate, bool) {
 		joules += sp.hist.Weight[b] * ev.PowerAt(d, sc) * sp.hist.StepSeconds
 	}
 	kwh := joules / 3.6e6
-	return Candidate{
+	c := Candidate{
 		ID:          id,
 		Counts:      counts,
 		Policy:      policy,
 		Servers:     servers,
 		CapacityOps: ev.Capacity(),
 		EnergyKWh:   kwh,
-		Objective:   sp.rate * kwh,
-	}, true
+		Objective:   sp.rate*kwh + sp.embodiedOf(counts),
+	}
+	if len(sp.plans) > 1 {
+		c.Region = sp.plans[sp.staticReg].name
+	}
+	return c, true
 }
 
 // incumbents lists the minimal feasible homogeneous fleet of every
@@ -527,6 +617,9 @@ func pushTop(top []Candidate, c Candidate, k int) []Candidate {
 // replay runs the candidate through the full fleet simulation and
 // prices the exact energy.
 func (sp *space) replay(c Candidate) (Candidate, error) {
+	if sp.varying {
+		return sp.replay2D(c)
+	}
 	groups := make([]placement.Group, 0, len(c.Counts))
 	for m, n := range c.Counts {
 		if n > 0 {
@@ -544,7 +637,7 @@ func (sp *space) replay(c Candidate) (Candidate, error) {
 		return Candidate{}, err
 	}
 	c.ExactEnergyKWh = res.EnergyKWh
-	c.ExactObjective = sp.rate * res.EnergyKWh
+	c.ExactObjective = sp.rate*res.EnergyKWh + sp.embodiedOf(c.Counts)
 	c.Exact = true
 	return c, nil
 }

@@ -167,6 +167,7 @@ func digest(t *testing.T, res Result) [32]byte {
 		f(c.Objective)
 		f(c.ExactEnergyKWh)
 		f(c.ExactObjective)
+		h.Write([]byte(c.Region))
 	}
 	cand(res.Best)
 	i(int64(len(res.TopK)))
@@ -177,6 +178,7 @@ func digest(t *testing.T, res Result) [32]byte {
 	i(res.Evaluated)
 	i(res.Pruned)
 	i(res.Infeasible)
+	i(int64(res.Cells))
 	var out [32]byte
 	h.Sum(out[:0])
 	return out

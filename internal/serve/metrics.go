@@ -9,9 +9,11 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/cluster"
 	"repro/internal/metrics"
+	"repro/internal/optimize"
 	"repro/internal/par"
 	"repro/internal/placement"
 	"repro/internal/stats"
+	"repro/internal/trace"
 )
 
 // This file is the /metrics exposition: every resident corpus — the
@@ -36,6 +38,15 @@ var demandFractions = []struct {
 	{0.75, "0.75"},
 	{1.00, "1.00"},
 }
+
+// Reference grid pricing for the carbon gauges: the same defaults the
+// optimizer's carbon objective assumes — mean 2016-era US grid
+// intensity and a typical facility PUE. Fixed constants, so the carbon
+// families stay byte-stable across scrapes.
+const (
+	refKgPerKWh = 0.45
+	refPUE      = 1.5
+)
 
 // gaugeFamilies returns the snapshot's corpus and fleet gauge
 // families. They are a pure function of the immutable corpus, so they
@@ -177,6 +188,17 @@ func fleetGauges(snap *Snapshot, corpus metrics.Label) ([]metrics.Family, error)
 	active := metrics.Family{Name: "spec_fleet_active_servers",
 		Help: "Servers a policy must keep active to serve each reference demand point.",
 		Type: metrics.TypeGauge}
+	carbonRate := metrics.Family{Name: "spec_fleet_carbon_rate_kg_per_hour",
+		Help: "Fleet operational carbon rate at reference demand points under each placement policy, priced at the reference grid (0.45 kgCO2/kWh, PUE 1.5).",
+		Type: metrics.TypeGauge, Unit: "kg_per_hour"}
+	embodied := metrics.Family{Name: "spec_fleet_embodied_carbon_rate_kg_per_hour",
+		Help: "Embodied-carbon amortization rate of the valid fleet at the default per-server model (1300 kgCO2e over a 4-year life).",
+		Type: metrics.TypeGauge, Unit: "kg_per_hour"}
+	emb := optimize.DefaultEmbodied()
+	embodied.Samples = append(embodied.Samples, metrics.Sample{
+		Labels: []metrics.Label{corpus},
+		Value:  float64(len(profiles)) * emb.KgCO2e / emb.LifetimeHours,
+	})
 
 	for pi, policy := range cluster.AllPolicies() {
 		agg, err := cluster.Compose(profiles, policy)
@@ -203,15 +225,19 @@ func fleetGauges(snap *Snapshot, corpus metrics.Label) ([]metrics.Family, error)
 		for _, d := range demandFractions {
 			demand := metrics.Label{Name: "demand", Value: d.label}
 			ops := ev.Capacity() * d.frac
+			watts := ev.PowerAt(ops, sc)
 			power.Samples = append(power.Samples, metrics.Sample{
-				Labels: []metrics.Label{corpus, pol, demand}, Value: ev.PowerAt(ops, sc),
+				Labels: []metrics.Label{corpus, pol, demand}, Value: watts,
 			})
 			active.Samples = append(active.Samples, metrics.Sample{
 				Labels: []metrics.Label{corpus, pol, demand}, Value: float64(ev.MinServers(ops)),
 			})
+			carbonRate.Samples = append(carbonRate.Samples, metrics.Sample{
+				Labels: []metrics.Label{corpus, pol, demand}, Value: watts / 1000 * refKgPerKWh * refPUE,
+			})
 		}
 	}
-	return []metrics.Family{capacity, fleetEP, fleetIdle, power, active}, nil
+	return []metrics.Family{capacity, fleetEP, fleetIdle, power, active, carbonRate, embodied}, nil
 }
 
 // scrapeFamilies assembles one exposition: the memoized gauges of
@@ -311,6 +337,20 @@ func (s *Server) serveFamilies(snaps []*Snapshot) []metrics.Family {
 		coalesced.Samples = append(coalesced.Samples, metrics.Sample{Labels: corpus, Value: float64(cs.Coalesced)})
 	}
 
+	// The reference grid-intensity curve is corpus-independent, so it is
+	// a server-level family — emitting it per snapshot would duplicate
+	// its series under the strict lint once a second corpus loads.
+	intensity := metrics.Family{Name: "spec_carbon_intensity_kg_per_kwh",
+		Help: "Reference diurnal grid carbon intensity by hour of day (0.45 kgCO2/kWh mean, 35% swing peaking at 19:00).",
+		Type: metrics.TypeGauge, Unit: "kg_per_kwh"}
+	if prof, err := trace.DiurnalIntensity(trace.IntensityConfig{}); err == nil {
+		for h, r := range prof.Rates {
+			intensity.Samples = append(intensity.Samples, metrics.Sample{
+				Labels: []metrics.Label{{Name: "hour", Value: fmt.Sprintf("%02d", h)}}, Value: r,
+			})
+		}
+	}
+
 	ws := s.workspace.Stats()
 	workspace := func(name, help string, t metrics.Type, v float64) metrics.Family {
 		return metrics.Family{Name: name, Help: help, Type: t,
@@ -318,7 +358,7 @@ func (s *Server) serveFamilies(snaps []*Snapshot) []metrics.Family {
 	}
 	return []metrics.Family{
 		requests, reqErrors, hits, misses,
-		entries, cacheBytes, cacheHits, cacheMisses, coalesced,
+		entries, cacheBytes, cacheHits, cacheMisses, coalesced, intensity,
 		workspace("spec_workspace_resident", "Keyed corpus scenarios resident in the workspace.",
 			metrics.TypeGauge, float64(ws.Resident)),
 		workspace("spec_workspace_capacity", "Workspace LRU capacity bound.",

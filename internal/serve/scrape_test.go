@@ -132,6 +132,38 @@ func TestScrapeExposition(t *testing.T) {
 	if got, want := len(power.Samples), 4*4; got != want { // policies x demand points
 		t.Fatalf("fleet power has %d samples, want %d", got, want)
 	}
+	// The carbon families price the fleet at the reference grid: the
+	// operational rate must equal watts/1000 x intensity x PUE sample by
+	// sample, and the hourly intensity curve must average to the 0.45
+	// base.
+	carbon := metrics.Find(fams, "spec_fleet_carbon_rate_kg_per_hour")
+	if carbon == nil || len(carbon.Samples) != len(power.Samples) {
+		t.Fatalf("carbon rate family missing or mis-sized: %+v", carbon)
+	}
+	for i, smp := range carbon.Samples {
+		if want := power.Samples[i].Value / 1000 * 0.45 * 1.5; smp.Value != want {
+			t.Fatalf("carbon sample %d = %v, want %v", i, smp.Value, want)
+		}
+	}
+	intensity := metrics.Find(fams, "spec_carbon_intensity_kg_per_kwh")
+	if intensity == nil || len(intensity.Samples) != 24 {
+		t.Fatalf("intensity family missing or not hourly: %+v", intensity)
+	}
+	var meanIntensity float64
+	for _, smp := range intensity.Samples {
+		meanIntensity += smp.Value / 24
+	}
+	if meanIntensity < 0.45-1e-9 || meanIntensity > 0.45+1e-9 {
+		t.Fatalf("intensity mean %v, want 0.45", meanIntensity)
+	}
+	embodied := metrics.Find(fams, "spec_fleet_embodied_carbon_rate_kg_per_hour")
+	if embodied == nil {
+		t.Fatal("exposition lacks spec_fleet_embodied_carbon_rate_kg_per_hour")
+	}
+	if v, ok := embodied.Value(c); !ok || v != float64(snap.Valid.Len())*1300/35064 {
+		t.Fatalf("embodied rate = %v/%v, want %v", v, ok, float64(snap.Valid.Len())*1300/35064)
+	}
+
 	for _, name := range []string{
 		"spec_corpus_overall_ee", "spec_corpus_idle_fraction",
 		"spec_corpus_year_ep", "spec_corpus_year_overall_ee", "spec_corpus_year_servers",
@@ -166,7 +198,7 @@ func TestScrapeExposition(t *testing.T) {
 // contributing computation is deterministic at any worker count, so
 // the digest is byte-stable at workers 1, 2 and 8.
 func TestScrapeGolden(t *testing.T) {
-	const want = "8a2b16498eff56bf5b78c0cc53ca10371259afc61804d7f70dd66ddc852160bb"
+	const want = "c5035d6237d84fc818253ec7fbe36a446a7f729e8eababbc92a7245b95eb7cc2"
 	defer par.SetMaxWorkers(0)
 	for _, workers := range []int{1, 2, 8} {
 		par.SetMaxWorkers(workers)

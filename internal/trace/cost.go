@@ -1,6 +1,9 @@
 package trace
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
 
 // Tariff prices a datacenter's electricity and carbon. The paper's
 // motivation (§I) is stated in exactly these units: billions of kWh and
@@ -31,22 +34,42 @@ type Bill struct {
 	KgCO2 float64
 }
 
+// Validate rejects unusable rates — negative, NaN or infinite prices
+// and intensities, and a PUE below 1 or non-finite — with typed
+// *RateError values. A NaN rate is not "less than zero", so the naive
+// sign check alone would let it through and every downstream bill
+// would silently be NaN.
+func (t Tariff) Validate() error {
+	if math.IsNaN(t.USDPerKWh) || math.IsInf(t.USDPerKWh, 0) || t.USDPerKWh < 0 {
+		return &RateError{Field: "USDPerKWh", Index: -1, Value: t.USDPerKWh}
+	}
+	if math.IsNaN(t.KgCO2PerKWh) || math.IsInf(t.KgCO2PerKWh, 0) || t.KgCO2PerKWh < 0 {
+		return &RateError{Field: "KgCO2PerKWh", Index: -1, Value: t.KgCO2PerKWh}
+	}
+	if pue := t.EffectivePUE(); math.IsNaN(pue) || math.IsInf(pue, 0) || pue < 1 {
+		return &RateError{Field: "PUE", Index: -1, Value: t.PUE}
+	}
+	return nil
+}
+
+// EffectivePUE returns the tariff's PUE with the zero-value default
+// of 1.0 applied.
+func (t Tariff) EffectivePUE() float64 {
+	if t.PUE == 0 {
+		return 1
+	}
+	return t.PUE
+}
+
 // BillOf prices raw IT energy under the tariff: facility energy via
 // PUE, then cost and carbon at the tariff's rates. It is the shared
 // pricing kernel behind Cost, the simulators' -price/-carbon flags,
 // and the composition optimizer's objective.
 func (t Tariff) BillOf(energyKWh float64) (Bill, error) {
-	if t.USDPerKWh < 0 || t.KgCO2PerKWh < 0 {
-		return Bill{}, fmt.Errorf("trace: negative tariff %+v", t)
+	if err := t.Validate(); err != nil {
+		return Bill{}, err
 	}
-	pue := t.PUE
-	if pue == 0 {
-		pue = 1
-	}
-	if pue < 1 {
-		return Bill{}, fmt.Errorf("trace: PUE %v below 1", pue)
-	}
-	facility := energyKWh * pue
+	facility := energyKWh * t.EffectivePUE()
 	return Bill{
 		FacilityKWh: facility,
 		USD:         facility * t.USDPerKWh,

@@ -1,0 +1,166 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+)
+
+// Hist2D is a demand trace folded jointly with one or more aligned
+// rate signals into a (demand-bin × rate-bin) histogram: the trace
+// compression layer of the carbon-aware optimizer. Under a
+// time-varying tariff the 1-D demand histogram is not enough — it
+// collapses the time axis, and billed energy is a demand×rate product
+// whose covariance the 1-D fold cannot see. The 2-D fold keys each
+// step by (demand bin, rate bin) and keeps per-cell conditional means
+// of both demand and every rate signal, so a candidate's trace-weighted
+// carbon or cost is a double sum over occupied cells — still O(cells)
+// power evaluations, not O(steps) — and the residual error is bounded
+// by the within-cell spans in both dimensions.
+//
+// Cells are binned by the FIRST rate set (the objective's primary
+// signal); additional sets (e.g. a price profile alongside carbon, or
+// other regions' scaled copies of the same shape) ride along with
+// per-cell conditional means of their own. Signals that share the
+// primary's shape are constant within its rate bins, so their fold is
+// as tight as the primary's.
+//
+// Determinism contract: accumulation is a single pass in step order
+// with the same `sum += d; count++` arithmetic as Compress, and cells
+// are emitted demand-ascending then rate-ascending. When every rate is
+// bit-identical (a constant profile) each demand bin occupies exactly
+// one cell and BinOps/Weight are Float64bits-identical to the 1-D
+// Compress of the same trace — the pinned regression that lets the
+// optimizer fall back to the static path exactly.
+type Hist2D struct {
+	// StepSeconds is the sampling period of the folded trace.
+	StepSeconds float64
+	// Steps is the total number of trace steps (the sum of Weight).
+	Steps int
+	// BinOps is the mean demand of each occupied cell.
+	BinOps []float64
+	// Weight is the step count of each occupied cell.
+	Weight []float64
+	// Rates[s][c] is rate set s's mean rate within cell c.
+	Rates [][]float64
+	// PeakOps and MinOps are the exact trace extremes.
+	PeakOps, MinOps float64
+	// MeanOps is the exact trace mean.
+	MeanOps float64
+}
+
+// Duration returns the folded trace length in seconds.
+func (h *Hist2D) Duration() float64 {
+	return h.StepSeconds * float64(h.Steps)
+}
+
+// Cells returns the number of occupied (demand, rate) cells.
+func (h *Hist2D) Cells() int {
+	return len(h.BinOps)
+}
+
+// Compress2D folds the trace jointly with aligned per-step rate
+// signals into at most bins×rateBins cells: equi-width demand bins
+// over [min, max] demand crossed with equi-width rate bins over the
+// FIRST signal's [min, max] rate. Every rate set must be exactly one
+// rate per trace step (use IntensityProfile.Align) and finite and
+// non-negative — violations are typed *RateError / *AlignError. Empty
+// cells are dropped. The fold is a single deterministic pass;
+// identical inputs produce identical histograms.
+func (t *Trace) Compress2D(bins, rateBins int, rateSets ...[]float64) (*Hist2D, error) {
+	if bins < 1 {
+		return nil, fmt.Errorf("trace: invalid bin count %d", bins)
+	}
+	if rateBins < 1 {
+		return nil, fmt.Errorf("trace: invalid rate bin count %d", rateBins)
+	}
+	if len(rateSets) == 0 {
+		return nil, fmt.Errorf("trace: Compress2D needs at least one rate set")
+	}
+	if len(t.DemandOps) == 0 {
+		return nil, fmt.Errorf("trace: empty trace")
+	}
+	if t.StepSeconds <= 0 {
+		return nil, fmt.Errorf("trace: invalid step %v s", t.StepSeconds)
+	}
+	steps := len(t.DemandOps)
+	for s, rates := range rateSets {
+		if len(rates) != steps {
+			return nil, &AlignError{TraceStep: t.StepSeconds,
+				Reason: fmt.Sprintf("rate set %d has %d rates for %d trace steps", s, len(rates), steps)}
+		}
+		for i, r := range rates {
+			if math.IsNaN(r) || math.IsInf(r, 0) || r < 0 {
+				return nil, &RateError{Field: fmt.Sprintf("rateSets[%d]", s), Index: i, Value: r}
+			}
+		}
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, d := range t.DemandOps {
+		if math.IsNaN(d) || math.IsInf(d, 0) {
+			return nil, fmt.Errorf("trace: non-finite demand %v", d)
+		}
+		lo = math.Min(lo, d)
+		hi = math.Max(hi, d)
+	}
+	rlo, rhi := math.Inf(1), math.Inf(-1)
+	for _, r := range rateSets[0] {
+		rlo = math.Min(rlo, r)
+		rhi = math.Max(rhi, r)
+	}
+	width := (hi - lo) / float64(bins)
+	rwidth := (rhi - rlo) / float64(rateBins)
+
+	// Dense (demand bin)*(rate bin) accumulators, demand-major so the
+	// constant-profile case (every step in rate bin 0) touches exactly
+	// the same cells in the same order as the 1-D Compress.
+	cells := bins * rateBins
+	sum := make([]float64, cells)
+	count := make([]float64, cells)
+	rsum := make([][]float64, len(rateSets))
+	for s := range rateSets {
+		rsum[s] = make([]float64, cells)
+	}
+	var total float64
+	for i, d := range t.DemandOps {
+		b := 0
+		if width > 0 {
+			b = int((d - lo) / width)
+			if b >= bins {
+				b = bins - 1
+			}
+		}
+		rb := 0
+		if rwidth > 0 {
+			rb = int((rateSets[0][i] - rlo) / rwidth)
+			if rb >= rateBins {
+				rb = rateBins - 1
+			}
+		}
+		c := b*rateBins + rb
+		sum[c] += d
+		count[c]++
+		for s := range rateSets {
+			rsum[s][c] += rateSets[s][i]
+		}
+		total += d
+	}
+	h := &Hist2D{
+		StepSeconds: t.StepSeconds,
+		Steps:       steps,
+		Rates:       make([][]float64, len(rateSets)),
+		PeakOps:     hi,
+		MinOps:      lo,
+		MeanOps:     total / float64(steps),
+	}
+	for c := 0; c < cells; c++ {
+		if count[c] == 0 {
+			continue
+		}
+		h.BinOps = append(h.BinOps, sum[c]/count[c])
+		h.Weight = append(h.Weight, count[c])
+		for s := range rateSets {
+			h.Rates[s] = append(h.Rates[s], rsum[s][c]/count[c])
+		}
+	}
+	return h, nil
+}
